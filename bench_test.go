@@ -1,0 +1,69 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// benchExperiment runs one harness experiment per benchmark iteration.
+// Every table and figure of the paper's evaluation has a bench target
+// here (DESIGN.md §4 maps them); `go test -bench=.` regenerates the
+// whole evaluation at quick scale, and `opmbench -exp all -full` at
+// paper scale.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := harness.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run(harness.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Findings) == 0 {
+			b.Fatalf("%s produced no findings", id)
+		}
+	}
+}
+
+func BenchmarkTable2Characteristics(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkFig5Roofline(b *testing.B)          { benchExperiment(b, "fig5") }
+func BenchmarkFig6SteppingModel(b *testing.B)     { benchExperiment(b, "fig6") }
+func BenchmarkFig1GEMMDensity(b *testing.B)       { benchExperiment(b, "fig1") }
+
+func BenchmarkFig7GEMMBroadwell(b *testing.B)     { benchExperiment(b, "fig7") }
+func BenchmarkFig8CholeskyBroadwell(b *testing.B) { benchExperiment(b, "fig8") }
+func BenchmarkFig15GEMMKNL(b *testing.B)          { benchExperiment(b, "fig15") }
+func BenchmarkFig16CholeskyKNL(b *testing.B)      { benchExperiment(b, "fig16") }
+
+func BenchmarkFig9SpMVBroadwell(b *testing.B)     { benchExperiment(b, "fig9") }
+func BenchmarkFig10SpTRANSBroadwell(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11SpTRSVBroadwell(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig17SpMVKNL(b *testing.B)          { benchExperiment(b, "fig17") }
+func BenchmarkFig18SpTRANSKNL(b *testing.B)       { benchExperiment(b, "fig18") }
+func BenchmarkFig19SpTRSVKNL(b *testing.B)        { benchExperiment(b, "fig19") }
+
+func BenchmarkFig12StreamBroadwell(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13StencilBroadwell(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14FFTBroadwell(b *testing.B)     { benchExperiment(b, "fig14") }
+func BenchmarkFig23StreamKNL(b *testing.B)        { benchExperiment(b, "fig23") }
+func BenchmarkFig24StencilKNL(b *testing.B)       { benchExperiment(b, "fig24") }
+func BenchmarkFig25FFTKNL(b *testing.B)           { benchExperiment(b, "fig25") }
+
+func BenchmarkTable4EDRAMSummary(b *testing.B)  { benchExperiment(b, "table4") }
+func BenchmarkTable5MCDRAMSummary(b *testing.B) { benchExperiment(b, "table5") }
+
+func BenchmarkFig26BroadwellPower(b *testing.B) { benchExperiment(b, "fig26") }
+func BenchmarkFig27KNLPower(b *testing.B)       { benchExperiment(b, "fig27") }
+
+func BenchmarkFig28EDRAMTuning(b *testing.B)    { benchExperiment(b, "fig28") }
+func BenchmarkFig29MCDRAMTuning(b *testing.B)   { benchExperiment(b, "fig29") }
+func BenchmarkFig30HardwareTuning(b *testing.B) { benchExperiment(b, "fig30") }
+
+// Extension and ablation experiments (beyond the paper's figures).
+func BenchmarkExtSkylakeMemSide(b *testing.B) { benchExperiment(b, "ext-skylake") }
+func BenchmarkExtMultiTenant(b *testing.B)    { benchExperiment(b, "ext-multiuser") }
+func BenchmarkAblations(b *testing.B)         { benchExperiment(b, "abl-ablations") }

@@ -1,0 +1,106 @@
+// Command matgen generates and inspects the synthetic sparse-matrix
+// collection that stands in for the paper's 968 UF matrices.
+//
+// Usage:
+//
+//	matgen -list                     # list all 968 specs
+//	matgen -stats                    # collection statistics
+//	matgen -id 42 -scale 64 -o m.mtx # write one matrix (MatrixMarket)
+//	matgen -export dir -stride 64    # export a subset as .mtx files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sparse"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list collection specs")
+		stats  = flag.Bool("stats", false, "print collection statistics")
+		id     = flag.Int("id", -1, "spec ID to instantiate")
+		scale  = flag.Int64("scale", 64, "capacity scale divisor (16=Broadwell, 64=KNL, 1=paper size)")
+		out    = flag.String("o", "", "output .mtx path for -id")
+		export = flag.String("export", "", "directory to export matrices into")
+		stride = flag.Int("stride", 64, "export every stride-th spec")
+	)
+	flag.Parse()
+	specs := sparse.Collection()
+
+	switch {
+	case *list:
+		fmt.Printf("%-5s %-22s %-10s %14s %8s\n", "id", "name", "family", "paper_bytes", "rownnz")
+		for _, sp := range specs {
+			fmt.Printf("%-5d %-22s %-10s %14d %8d\n", sp.ID, sp.Name, sp.Family, sp.PaperFootprint, sp.RowNNZ)
+		}
+	case *stats:
+		famCount := map[sparse.Family]int{}
+		var minFP, maxFP int64 = 1 << 62, 0
+		for _, sp := range specs {
+			famCount[sp.Family]++
+			if sp.PaperFootprint < minFP {
+				minFP = sp.PaperFootprint
+			}
+			if sp.PaperFootprint > maxFP {
+				maxFP = sp.PaperFootprint
+			}
+		}
+		fmt.Printf("collection: %d matrices, footprints %d MB .. %d MB (paper scale)\n",
+			len(specs), minFP>>20, maxFP>>20)
+		for fam := sparse.Family(0); fam < sparse.NumFamilies; fam++ {
+			fmt.Printf("  %-10s %d\n", fam, famCount[fam])
+		}
+	case *id >= 0:
+		if *id >= len(specs) {
+			fatal(fmt.Errorf("id %d out of range (0..%d)", *id, len(specs)-1))
+		}
+		sp := specs[*id]
+		m := sp.Instantiate(*scale)
+		mt := sparse.Measure(m)
+		fmt.Printf("%s: %dx%d, nnz %d, avg row %.1f, bandwidth %d, footprint %d bytes (sim)\n",
+			sp.Name, mt.Rows, mt.Rows, mt.NNZ, mt.AvgRowNNZ, mt.Bandwidth, mt.FootprintBytes)
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			if err := sparse.WriteMatrixMarket(f, m); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", *out)
+		}
+	case *export != "":
+		if err := os.MkdirAll(*export, 0o755); err != nil {
+			fatal(err)
+		}
+		n := 0
+		for _, sp := range sparse.Subsample(specs, *stride) {
+			m := sp.Instantiate(*scale)
+			path := filepath.Join(*export, sp.Name+".mtx")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := sparse.WriteMatrixMarket(f, m); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			f.Close()
+			n++
+		}
+		fmt.Printf("exported %d matrices to %s\n", n, *export)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "matgen:", err)
+	os.Exit(1)
+}

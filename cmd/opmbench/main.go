@@ -1,0 +1,91 @@
+// Command opmbench reproduces the paper's tables and figures. Each
+// experiment renders its figure as text, prints headline findings, and
+// (with -out) writes CSV series suitable for replotting.
+//
+// Usage:
+//
+//	opmbench -list
+//	opmbench -exp fig7            # one experiment
+//	opmbench -exp all -out results # everything, CSVs under results/
+//	opmbench -exp fig9 -full       # the complete 968-matrix sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment ID (see -list), or \"all\"")
+		full    = flag.Bool("full", false, "run the paper's complete sweeps (968 matrices, fine grids)")
+		out     = flag.String("out", "", "directory for CSV output")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		quiet   = flag.Bool("q", false, "suppress rendered figures (findings only)")
+		timeRun = flag.Bool("time", true, "print per-experiment wall time")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.RegistryWithExtensions() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "opmbench: -exp required (or -list); e.g. -exp fig7 or -exp all")
+		os.Exit(2)
+	}
+
+	var ids []string
+	switch *exp {
+	case "all":
+		ids = harness.IDs()
+	case "all+ext":
+		ids = append(harness.IDs(), harness.ExtensionIDs()...)
+	case "ext":
+		ids = harness.ExtensionIDs()
+	default:
+		ids = strings.Split(*exp, ",")
+	}
+	opt := harness.Options{Full: *full, OutDir: *out}
+	failed := false
+	for _, id := range ids {
+		e, err := harness.Get(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "opmbench:", err)
+			os.Exit(2)
+		}
+		t0 := time.Now()
+		rep, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opmbench: %s failed: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		if *timeRun {
+			fmt.Printf("==== %s [%s] ====\n", e.Title, time.Since(t0).Round(time.Millisecond))
+		} else {
+			fmt.Printf("==== %s ====\n", e.Title)
+		}
+		if !*quiet {
+			fmt.Println(rep.Text)
+		}
+		for _, f := range rep.Findings {
+			fmt.Println("finding:", f)
+		}
+		if err := rep.WriteCSVs(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "opmbench:", err)
+			failed = true
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,51 @@
+// Command opmreport prints the reproduction's headline summary: the
+// platform inventory (Table 3), the kernel characteristics (Table 2),
+// and the eDRAM/MCDRAM summary tables (Tables 4, 5) with their
+// findings — the quickest way to compare this reproduction against the
+// paper's claims.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/platform"
+)
+
+func main() {
+	full := flag.Bool("full", false, "use the complete sweeps (slow)")
+	flag.Parse()
+
+	fmt.Println("Reproduction summary: \"The Real Impact of Modern On-Package Memory on HPC Scientific Kernels\" (SC'17)")
+	fmt.Println()
+	fmt.Println("Table 3: platform configuration (simulated, scaled capacities per DESIGN.md)")
+	for _, p := range platform.All() {
+		fmt.Printf("  %-10s %-16s %2d cores @ %.1f GHz, DP %.1f GFlop/s, %s %d GB @ %.1f GB/s, %s %d MB @ %.1f GB/s (scale 1/%d)\n",
+			p.Name, p.CPU, p.Cores, p.FreqGHz, p.DPGFlops,
+			p.DRAMKind, p.DRAMBytes>>30, p.DRAMGBs,
+			p.OPMKind, p.OPMBytes>>20, p.OPMGBs, p.Scale)
+	}
+	fmt.Println()
+
+	opt := harness.Options{Full: *full}
+	for _, id := range []string{"table2", "table4", "table5", "fig26", "fig27"} {
+		e, err := harness.Get(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "opmreport:", err)
+			os.Exit(1)
+		}
+		rep, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opmreport: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println("====", e.Title, "====")
+		fmt.Println(rep.Text)
+		for _, f := range rep.Findings {
+			fmt.Println("finding:", f)
+		}
+		fmt.Println()
+	}
+}

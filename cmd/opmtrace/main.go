@@ -1,0 +1,148 @@
+// Command opmtrace inspects the simulated memory behaviour of one
+// kernel run: per-level demand/writeback bytes, the binding bound of
+// the timing model, effective MLP, and the power estimate — the
+// diagnostic view behind every number the harness reports.
+//
+// Usage:
+//
+//	opmtrace -platform broadwell -mode edram -kernel stream -mb 64
+//	opmtrace -platform knl -mode flat -kernel spmv -matrix 42
+//	opmtrace -platform knl -mode cache -kernel gemm -n 16384 -nb 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/sparse"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		platName = flag.String("platform", "broadwell", "broadwell | knl | skylake")
+		modeName = flag.String("mode", "ddr", "ddr | edram | cache | flat | hybrid | edram-ms")
+		kernel   = flag.String("kernel", "stream", "stream | stencil | fft | spmv | sptrans | sptrsv | gemm | cholesky")
+		mb       = flag.Int64("mb", 64, "footprint in MB at paper scale (stream/stencil/fft)")
+		matrixID = flag.Int("matrix", 0, "collection spec ID (sparse kernels)")
+		n        = flag.Int("n", 8192, "matrix order (dense kernels)")
+		nb       = flag.Int("nb", 1024, "tile size (dense kernels)")
+	)
+	flag.Parse()
+
+	plat, err := findPlatform(*platName)
+	if err != nil {
+		fatal(err)
+	}
+	mode, err := findMode(plat, *modeName)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := core.NewMachine(plat, mode)
+	if err != nil {
+		fatal(err)
+	}
+
+	var res memsim.Result
+	switch *kernel {
+	case "gemm", "cholesky":
+		kind := trace.DenseGEMM
+		if *kernel == "cholesky" {
+			kind = trace.DenseCholesky
+		}
+		res, err = m.RunDense(kind, *n, *nb)
+	case "spmv", "sptrans", "sptrsv":
+		specs := sparse.Collection()
+		if *matrixID < 0 || *matrixID >= len(specs) {
+			fatal(fmt.Errorf("matrix ID %d out of range", *matrixID))
+		}
+		mat := specs[*matrixID].Instantiate(plat.Scale)
+		var w trace.Workload
+		switch *kernel {
+		case "spmv":
+			w = &trace.SpMV{M: mat}
+		case "sptrans":
+			w = &trace.SpTRANS{M: mat}
+		default:
+			w, err = trace.NewSpTRSV(mat)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("matrix %s: %d rows, %d nnz\n", specs[*matrixID].Name, mat.Rows, mat.NNZ())
+		res, err = m.Run(w)
+	case "stream", "stencil", "fft":
+		simFP := plat.ScaledBytes(*mb << 20)
+		var w trace.Workload
+		switch *kernel {
+		case "stream":
+			w = trace.NewStream(simFP)
+		case "stencil":
+			w = trace.NewStencil(simFP, plat.Scale)
+		default:
+			w = trace.NewFFT(simFP)
+		}
+		res, err = m.Run(w)
+	default:
+		fatal(fmt.Errorf("unknown kernel %q", *kernel))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\n%s on %s\n", *kernel, m.Label())
+	fmt.Printf("  throughput:     %.2f GFlop/s (%.2f GB/s memory-side)\n", res.GFlops, res.MemGBs)
+	fmt.Printf("  modelled time:  %.4g s\n", res.Seconds)
+	fmt.Printf("  binding bound:  %s\n", res.Bound)
+	fmt.Printf("  footprint:      %d MB (paper scale)\n", res.FootprintBytes>>20)
+	fmt.Printf("  effective MLP:  %.1f\n", res.EffectiveMLP)
+	fmt.Println("  per-source traffic (measured pass):")
+	for s := memsim.SrcL1; s <= memsim.SrcDDR; s++ {
+		d := res.Traffic.Bytes[s]
+		wb := res.Traffic.WBBytes[s]
+		if d == 0 && wb == 0 {
+			continue
+		}
+		fmt.Printf("    %-7s demand %10.2f MB   writeback/install %10.2f MB   bound %.4g s\n",
+			s, float64(d)/(1<<20), float64(wb)/(1<<20), res.BWSec[s])
+	}
+	if res.Traffic.MCTagLines > 0 {
+		fmt.Printf("    MCDRAM tag consultations: %d lines\n", res.Traffic.MCTagLines)
+	}
+	if res.Traffic.SplitFlat {
+		fmt.Println("    !! flat allocation straddles MCDRAM and DDR (split pathology)")
+	}
+	if pm, err := power.ForPlatform(plat.Name); err == nil {
+		s := pm.Estimate(res)
+		fmt.Printf("  power estimate: pkg %.1f W, dram %.1f W, energy %.4g J\n",
+			s.PkgW, s.DRAMW, pm.EnergyJ(res))
+	}
+}
+
+func findPlatform(name string) (*platform.Platform, error) {
+	for _, p := range platform.AllWithExtensions() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown platform %q", name)
+}
+
+func findMode(p *platform.Platform, name string) (memsim.Mode, error) {
+	for _, m := range p.Modes {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("platform %s does not support mode %q (supported: %v)", p.Name, name, p.Modes)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "opmtrace:", err)
+	os.Exit(1)
+}

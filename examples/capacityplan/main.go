@@ -1,0 +1,108 @@
+// capacityplan is the procurement-study example the paper's
+// introduction motivates (audience A: "procurement specialists
+// considering purchasing OPM-equipped processors for the applications
+// of interest").
+//
+// Given a mix of kernels with typical working-set sizes, it evaluates
+// each on Broadwell (eDRAM on/off) and KNL (best MCDRAM mode vs DDR),
+// applies the power model, and reports whether the OPM clears the
+// Eq. 1 energy break-even for that mix.
+//
+// Run with: go run ./examples/capacityplan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/roofline"
+	"repro/internal/trace"
+)
+
+// mix is the application profile under procurement: kernel name plus
+// typical paper-scale working set.
+var mix = []struct {
+	kernel string
+	fp     int64
+}{
+	{"Stream", 96 << 20},
+	{"Stencil", 512 << 20},
+	{"FFT", 256 << 20},
+}
+
+func main() {
+	fmt.Println("Procurement study: kernel mix vs OPM platforms")
+	fmt.Println("\nRoofline placement (Fig 5) of the mix:")
+	for _, p := range platform.All() {
+		for _, pt := range roofline.Points(p) {
+			for _, m := range mix {
+				if pt.Kernel == m.kernel {
+					fmt.Printf("  %-10s %-8s AI %6.3f: %7.1f GFlop/s on DRAM, %7.1f with %s\n",
+						p.Name, pt.Kernel, pt.AI, pt.DRAMGFlops, pt.WithOPMGFlops, p.OPMKind)
+				}
+			}
+		}
+	}
+
+	for _, plat := range platform.All() {
+		model, err := power.ForPlatform(plat.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := core.NewMachine(plat, memsim.ModeDDR)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The primary OPM mode: eDRAM on Broadwell, flat on KNL.
+		opmMode := memsim.ModeEDRAM
+		if plat.Name == "knl" {
+			opmMode = memsim.ModeFlat
+		}
+		opm, err := core.NewMachine(plat, opmMode)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("\n=== %s: DDR baseline vs %s ===\n", plat.Name, opmMode)
+		var sumSpeedup, sumPowerInc float64
+		for _, mw := range mix {
+			var w trace.Workload
+			switch mw.kernel {
+			case "Stream":
+				w = trace.NewStream(plat.ScaledBytes(mw.fp))
+			case "Stencil":
+				w = trace.NewStencil(plat.ScaledBytes(mw.fp), plat.Scale)
+			case "FFT":
+				w = trace.NewFFT(plat.ScaledBytes(mw.fp))
+			}
+			rb, err := base.Run(w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ro, err := opm.Run(w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pb, po := model.Estimate(rb), model.Estimate(ro)
+			speedup := ro.GFlops / rb.GFlops
+			powerInc := (po.Total() - pb.Total()) / pb.Total()
+			saves := power.SavesEnergy(speedup-1, powerInc)
+			fmt.Printf("  %-8s %4d MB: %6.2fx speedup, %+5.1f%% power -> energy win: %v\n",
+				mw.kernel, mw.fp>>20, speedup, powerInc*100, saves)
+			sumSpeedup += speedup
+			sumPowerInc += powerInc
+		}
+		avgSp := sumSpeedup/float64(len(mix)) - 1
+		avgPw := sumPowerInc / float64(len(mix))
+		fmt.Printf("  mix average: %+.1f%% performance at %+.1f%% power — Eq. 1 verdict: ", avgSp*100, avgPw*100)
+		if power.SavesEnergy(avgSp, avgPw) {
+			fmt.Printf("BUY the %s configuration (break-even was %.1f%%)\n", plat.OPMKind, power.BreakEvenGain(avgPw)*100)
+		} else {
+			fmt.Printf("the %s does not pay for itself on this mix\n", plat.OPMKind)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// cg solves a sparse SPD linear system with the conjugate-gradient
+// method built entirely from this repository's kernels: SpMV drives
+// the iteration, Stream-style vector updates move the data, and an
+// optional symmetric Gauss-Seidel preconditioner exercises SpTRSV —
+// the composition the paper's intro motivates ("scientific kernels are
+// the essential building blocks for today's major applications").
+//
+// After converging, it estimates how the full solve would behave on
+// both OPM platforms by replaying one CG iteration's memory behaviour
+// through the evaluation engine.
+//
+// Run with: go run ./examples/cg [-k 96] [-precond]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/platform"
+	"repro/internal/sparse"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		k       = flag.Int("k", 96, "Poisson grid dimension (matrix order k²)")
+		precond = flag.Bool("precond", false, "use symmetric Gauss-Seidel preconditioning (SpTRSV)")
+		maxIter = flag.Int("maxiter", 2000, "iteration cap")
+		tol     = flag.Float64("tol", 1e-8, "relative residual tolerance")
+	)
+	flag.Parse()
+
+	a := sparse.Poisson2D(*k)
+	n := a.Rows
+	fmt.Printf("CG on poisson2d(%d): %d unknowns, %d nonzeros, precond=%v\n",
+		*k, n, a.NNZ(), *precond)
+
+	// Manufactured solution: x* = sin profile; b = A x*.
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = math.Sin(float64(i) * 0.01)
+	}
+	b := make([]float64, n)
+	if err := kernels.SpMV(a, want, b, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	var pre *preconditioner
+	if *precond {
+		var err error
+		pre, err = newPreconditioner(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	x, iters, relres, err := conjugateGradient(a, b, pre, *maxIter, *tol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst := 0.0
+	for i := range x {
+		if d := math.Abs(x[i] - want[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("converged in %d iterations, relative residual %.3g, max error vs truth %.3g\n",
+		iters, relres, worst)
+
+	// OPM what-if: one CG iteration is dominated by the SpMV; evaluate
+	// it on every platform/mode.
+	fmt.Println("\nper-iteration SpMV on the OPM platforms:")
+	for _, plat := range platform.All() {
+		mat := a
+		if plat.Scale > 1 {
+			// Use a suite matrix of comparable paper-scale footprint so
+			// the simulated size stays proportional.
+			mat = sparse.Poisson2D(*k)
+		}
+		w := &trace.SpMV{M: mat}
+		for _, mode := range plat.Modes {
+			m, err := core.NewMachine(plat, mode)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r, err := m.Run(w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-18s %8.2f GFlop/s (bound %s) -> est. %.2f ms/solve\n",
+				m.Label(), r.GFlops, r.Bound, r.Seconds*float64(iters)*1e3)
+		}
+	}
+}
+
+// preconditioner applies symmetric Gauss-Seidel: z = (L D⁻¹ Lᵀ)⁻¹ r via
+// one forward (SpTRSV) and one backward substitution.
+type preconditioner struct {
+	lower *sparse.CSR
+	upper *sparse.CSR // CSR of Lᵀ (an upper-triangular system)
+	sched *sparse.LevelSchedule
+	diag  []float64
+	tmp   []float64
+}
+
+func newPreconditioner(a *sparse.CSR) (*preconditioner, error) {
+	l, err := a.LowerTriangle()
+	if err != nil {
+		return nil, err
+	}
+	sched, err := sparse.BuildLevels(l)
+	if err != nil {
+		return nil, err
+	}
+	diag := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		diag[i] = a.At(i, i)
+		if diag[i] == 0 {
+			return nil, fmt.Errorf("zero diagonal at row %d", i)
+		}
+	}
+	return &preconditioner{
+		lower: l,
+		upper: sparse.Transpose(l),
+		sched: sched,
+		diag:  diag,
+		tmp:   make([]float64, a.Rows),
+	}, nil
+}
+
+// apply computes z = M⁻¹ r.
+func (p *preconditioner) apply(r, z []float64) error {
+	// Forward solve L y = r (level-scheduled SpTRSV).
+	if err := kernels.SpTRSVWithSchedule(p.lower, p.sched, r, p.tmp, 0); err != nil {
+		return err
+	}
+	for i := range p.tmp {
+		p.tmp[i] *= p.diag[i]
+	}
+	// Backward solve Lᵀ z = y: the transpose of a lower system is
+	// upper triangular; solve it row-by-row in reverse.
+	u := p.upper
+	for i := u.Rows - 1; i >= 0; i-- {
+		s := p.tmp[i]
+		var d float64
+		for q := u.RowPtr[i]; q < u.RowPtr[i+1]; q++ {
+			c := u.ColIdx[q]
+			if int(c) == i {
+				d = u.Val[q]
+			} else {
+				s -= u.Val[q] * z[c]
+			}
+		}
+		z[i] = s / d
+	}
+	return nil
+}
+
+// conjugateGradient runs (preconditioned) CG and returns the solution,
+// iteration count and final relative residual.
+func conjugateGradient(a *sparse.CSR, b []float64, pre *preconditioner, maxIter int, tol float64) ([]float64, int, float64, error) {
+	n := a.Rows
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	z := make([]float64, n)
+	if pre != nil {
+		if err := pre.apply(r, z); err != nil {
+			return nil, 0, 0, err
+		}
+	} else {
+		copy(z, r)
+	}
+	p := append([]float64(nil), z...)
+	ap := make([]float64, n)
+	rz := dot(r, z)
+	bnorm := math.Sqrt(dot(b, b))
+	if bnorm == 0 {
+		return x, 0, 0, nil
+	}
+	for it := 1; it <= maxIter; it++ {
+		if err := kernels.SpMV(a, p, ap, 0); err != nil {
+			return nil, 0, 0, err
+		}
+		alpha := rz / dot(p, ap)
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		relres := math.Sqrt(dot(r, r)) / bnorm
+		if relres < tol {
+			return x, it, relres, nil
+		}
+		if pre != nil {
+			if err := pre.apply(r, z); err != nil {
+				return nil, 0, 0, err
+			}
+		} else {
+			copy(z, r)
+		}
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return x, maxIter, math.Sqrt(dot(r, r)) / bnorm, fmt.Errorf("CG did not converge in %d iterations", maxIter)
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

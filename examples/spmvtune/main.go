@@ -1,0 +1,109 @@
+// spmvtune applies the paper's Section 6 optimization guideline to a
+// concrete question: which MCDRAM mode should a KNL user pick for
+// their sparse workload?
+//
+// It takes a Matrix Market file (or generates a representative matrix),
+// evaluates SpMV and SpTRSV under every MCDRAM mode, and prints a
+// recommendation following the guideline:
+//
+//   - data < 16 GB and bandwidth-bound  -> flat
+//   - hot set < 8 GB but data > 16 GB   -> hybrid
+//   - data > 16 GB with locality        -> cache
+//   - latency-bound (SpTRSV-like)       -> MCDRAM gains little; DDR ok
+//
+// Run with: go run ./examples/spmvtune [matrix.mtx]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/platform"
+	"repro/internal/sparse"
+	"repro/internal/trace"
+)
+
+func main() {
+	knl := platform.KNL()
+	var mat *sparse.CSR
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		mat, err = sparse.ReadMatrixMarket(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %s: %dx%d, %d nonzeros\n", os.Args[1], mat.Rows, mat.Cols, mat.NNZ())
+	} else {
+		// A representative mid-size PDE matrix (≈1 GB at paper scale).
+		spec := sparse.Collection()[4]
+		mat = spec.Instantiate(knl.Scale)
+		fmt.Printf("no matrix given; generated %s (%dx%d, %d nnz, ~%d MB at paper scale)\n",
+			spec.Name, mat.Rows, mat.Cols, mat.NNZ(), spec.PaperFootprint>>20)
+	}
+
+	spmv := &trace.SpMV{M: mat}
+	sptrsv, err := trace.NewSpTRSV(mat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-8s %12s %12s %10s\n", "mode", "SpMV GF/s", "SpTRSV GF/s", "bound")
+	best := struct {
+		mode   memsim.Mode
+		gflops float64
+	}{}
+	var ddrSpMV, bestTRSV float64
+	var ddrTRSV float64
+	for _, mode := range knl.Modes {
+		m, err := core.NewMachine(knl, mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rv, err := m.Run(spmv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt, err := m.Run(sptrsv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %12.2f %12.2f %10s\n", mode, rv.GFlops, rt.GFlops, rv.Bound)
+		if rv.GFlops > best.gflops {
+			best.mode, best.gflops = mode, rv.GFlops
+		}
+		if mode == memsim.ModeDDR {
+			ddrSpMV, ddrTRSV = rv.GFlops, rt.GFlops
+		}
+		if rt.GFlops > bestTRSV {
+			bestTRSV = rt.GFlops
+		}
+	}
+
+	fmt.Printf("\nrecommendation for SpMV: %s (%.2fx over DDR)\n", best.mode, best.gflops/ddrSpMV)
+	paperFP := mat.FootprintBytes() * knl.Scale
+	switch best.mode {
+	case memsim.ModeFlat:
+		fmt.Println("rationale: footprint fits MCDRAM and SpMV is bandwidth bound (Section 6 II)")
+	case memsim.ModeCache:
+		if paperFP <= 16<<30 {
+			fmt.Println("rationale: the hardware-managed cache tracks the x-vector hot set as well as flat placement here (Section 4.2.1 IV)")
+		} else {
+			fmt.Println("rationale: data exceeds MCDRAM but has locality the cache can exploit (Section 6 IV)")
+		}
+	case memsim.ModeHybrid:
+		fmt.Println("rationale: hot rows fit the cache half while the rest stays addressable (Section 6 III)")
+	default:
+		fmt.Println("rationale: the kernel is latency bound on this input; MCDRAM cannot help (Fig 19)")
+	}
+	if bestTRSV < ddrTRSV*1.15 {
+		fmt.Println("note: SpTRSV on this matrix is latency bound — MCDRAM gains little (Fig 19's anomaly);")
+		fmt.Println("      its dependency chains average", fmt.Sprintf("%.0f", sptrsv.AvgParallelism()), "parallel rows per level")
+	}
+}

@@ -1,0 +1,115 @@
+// wave is a miniature seismic forward model — the application domain
+// YASK's iso3dfd kernel comes from: it propagates an acoustic wave
+// from a point source through a 3D volume with the 16th-order stencil,
+// records a receiver trace, and recovers the source frequency with the
+// FFT kernel (Bluestein plan, so the trace length need not be a power
+// of two).
+//
+// It then asks the evaluation engine the paper's question for this
+// workload: which platform/mode should run it?
+//
+// Run with: go run ./examples/wave [-n 64] [-steps 300]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/core"
+	"repro/internal/fft"
+	"repro/internal/platform"
+	"repro/internal/stencil"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 64, "cubic grid dimension")
+		steps = flag.Int("steps", 300, "time steps")
+	)
+	flag.Parse()
+
+	cur, err := stencil.NewGrid(*n, *n, *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prev, _ := stencil.NewGrid(*n, *n, *n)
+	scratch, _ := stencil.NewGrid(*n, *n, *n)
+
+	// Ricker-wavelet point source at the volume centre; receiver offset
+	// along x.
+	const v2dt2 = 0.08 // CFL-stable velocity*dt squared
+	srcX, srcY, srcZ := *n/2, *n/2, *n/2
+	rcvX, rcvY, rcvZ := *n/2+(*n)/4, *n/2, *n/2
+	const f0 = 0.05 // source frequency in cycles/step
+	ricker := func(t float64) float64 {
+		a := math.Pi * f0 * (t - 2/f0)
+		return (1 - 2*a*a) * math.Exp(-a*a)
+	}
+
+	trace1 := make([]float64, *steps)
+	next := scratch
+	for s := 0; s < *steps; s++ {
+		cur.Set(srcX, srcY, srcZ, cur.At(srcX, srcY, srcZ)+ricker(float64(s)))
+		if err := stencil.Step(next, cur, prev, v2dt2, stencil.DefaultBlock, 0); err != nil {
+			log.Fatal(err)
+		}
+		prev, cur, next = cur, next, prev
+		trace1[s] = cur.At(rcvX, rcvY, rcvZ)
+	}
+	var peakT int
+	peakV := 0.0
+	for t, v := range trace1 {
+		if math.Abs(v) > peakV {
+			peakV, peakT = math.Abs(v), t
+		}
+	}
+	fmt.Printf("propagated %d steps on %d^3 grid; receiver peak |p|=%.3g at step %d\n",
+		*steps, *n, peakV, peakT)
+
+	// Spectral analysis of the receiver trace with the arbitrary-length
+	// FFT (the trace length is rarely a power of two).
+	plan, err := fft.NewAnyPlan(*steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := make([]complex128, *steps)
+	for t, v := range trace1 {
+		spec[t] = complex(v, 0)
+	}
+	if err := plan.Transform(spec, false); err != nil {
+		log.Fatal(err)
+	}
+	best, bestMag := 0, 0.0
+	for k := 1; k < *steps/2; k++ {
+		if m := cmplx.Abs(spec[k]); m > bestMag {
+			best, bestMag = k, m
+		}
+	}
+	measured := float64(best) / float64(*steps)
+	fmt.Printf("dominant receiver frequency: %.4f cycles/step (source %.4f)\n", measured, f0)
+	if math.Abs(measured-f0) > f0 {
+		log.Fatalf("spectral peak far from source frequency")
+	}
+
+	// OPM what-if: where should a production-size version of this run?
+	fmt.Println("\nproduction grid (1024x1024x512, the paper's Broadwell upper sweep):")
+	fp := int64(1024) * 1024 * 512 * 8 * 3
+	for _, plat := range platform.All() {
+		for _, mode := range plat.Modes {
+			m, err := core.NewMachine(plat, mode)
+			if err != nil {
+				log.Fatal(err)
+			}
+			w := trace.NewStencil(plat.ScaledBytes(fp), plat.Scale)
+			r, err := m.Run(w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-18s %8.1f GFlop/s (bound %s)\n", m.Label(), r.GFlops, r.Bound)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package cache
+
+import "fmt"
+
+// DirectMapped is a direct-mapped cache. The MCDRAM cache mode on
+// Knights Landing is direct-mapped with the tags stored in MCDRAM
+// itself (Section 2.2 of the paper), which is why its conflict misses
+// matter for the cache-vs-hybrid comparison the paper reports.
+type DirectMapped struct {
+	name     string
+	setMask  uint64
+	tags     []uint64
+	valid    []bool
+	dirty    []bool
+	stats    Stats
+	capacity int64
+}
+
+// NewDirectMapped builds a direct-mapped cache of the given capacity.
+// The line count must be a power of two.
+func NewDirectMapped(name string, capacityBytes int64) *DirectMapped {
+	lines := capacityBytes / LineSize
+	if lines <= 0 || lines&(lines-1) != 0 {
+		panic(fmt.Sprintf("cache %s: line count %d not a power of two", name, lines))
+	}
+	return &DirectMapped{
+		name:     name,
+		setMask:  uint64(lines - 1),
+		tags:     make([]uint64, lines),
+		valid:    make([]bool, lines),
+		dirty:    make([]bool, lines),
+		capacity: capacityBytes,
+	}
+}
+
+// Name returns the cache's diagnostic name.
+func (c *DirectMapped) Name() string { return c.name }
+
+// SizeBytes returns the capacity in bytes.
+func (c *DirectMapped) SizeBytes() int64 { return c.capacity }
+
+// Stats returns the accumulated statistics.
+func (c *DirectMapped) Stats() *Stats { return &c.stats }
+
+// Reset clears contents and statistics.
+func (c *DirectMapped) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+	}
+	c.stats = Stats{}
+}
+
+// Access implements Cache.
+func (c *DirectMapped) Access(lineAddr uint64, write bool) (bool, Line) {
+	c.stats.Accesses++
+	idx := lineAddr & c.setMask
+	if c.valid[idx] && c.tags[idx] == lineAddr {
+		c.stats.Hits++
+		if write {
+			c.dirty[idx] = true
+		}
+		return true, Line{}
+	}
+	c.stats.Misses++
+	ev := c.fill(idx, lineAddr, write)
+	return false, ev
+}
+
+// Probe implements Cache.
+func (c *DirectMapped) Probe(lineAddr uint64) bool {
+	idx := lineAddr & c.setMask
+	return c.valid[idx] && c.tags[idx] == lineAddr
+}
+
+// Invalidate implements Cache.
+func (c *DirectMapped) Invalidate(lineAddr uint64) (bool, bool) {
+	idx := lineAddr & c.setMask
+	if c.valid[idx] && c.tags[idx] == lineAddr {
+		d := c.dirty[idx]
+		c.valid[idx] = false
+		c.dirty[idx] = false
+		return true, d
+	}
+	return false, false
+}
+
+// Insert implements Cache.
+func (c *DirectMapped) Insert(lineAddr uint64, dirty bool) Line {
+	idx := lineAddr & c.setMask
+	if c.valid[idx] && c.tags[idx] == lineAddr {
+		c.dirty[idx] = c.dirty[idx] || dirty
+		return Line{}
+	}
+	return c.fill(idx, lineAddr, dirty)
+}
+
+func (c *DirectMapped) fill(idx, lineAddr uint64, dirty bool) Line {
+	var ev Line
+	if c.valid[idx] {
+		ev = Line{Addr: c.tags[idx], Dirty: c.dirty[idx], Valid: true}
+		c.stats.Evictions++
+		if ev.Dirty {
+			c.stats.Writebacks++
+		}
+	}
+	c.tags[idx] = lineAddr
+	c.valid[idx] = true
+	c.dirty[idx] = dirty
+	return ev
+}
+
+var _ Cache = (*DirectMapped)(nil)

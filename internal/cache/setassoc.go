@@ -1,0 +1,170 @@
+package cache
+
+import "fmt"
+
+// SetAssoc is a set-associative cache with true-LRU replacement,
+// implemented with per-line timestamps (a hit only writes one counter,
+// keeping the simulator's hot path free of shuffling).
+type SetAssoc struct {
+	name     string
+	sets     int
+	ways     int
+	setMask  uint64
+	tags     []uint64 // sets*ways
+	valid    []bool
+	dirty    []bool
+	age      []uint64 // LRU timestamps
+	clock    uint64
+	stats    Stats
+	capacity int64
+}
+
+// NewSetAssoc builds a set-associative cache of the given capacity in
+// bytes with the given associativity. Capacity must be a multiple of
+// ways*LineSize and the resulting set count must be a power of two.
+func NewSetAssoc(name string, capacityBytes int64, ways int) *SetAssoc {
+	if ways <= 0 {
+		panic(fmt.Sprintf("cache %s: ways must be positive, got %d", name, ways))
+	}
+	lines := capacityBytes / LineSize
+	if lines <= 0 || lines%int64(ways) != 0 {
+		panic(fmt.Sprintf("cache %s: capacity %d not a multiple of ways*linesize", name, capacityBytes))
+	}
+	sets := int(lines) / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, sets))
+	}
+	return &SetAssoc{
+		name:     name,
+		sets:     sets,
+		ways:     ways,
+		setMask:  uint64(sets - 1),
+		tags:     make([]uint64, sets*ways),
+		valid:    make([]bool, sets*ways),
+		dirty:    make([]bool, sets*ways),
+		age:      make([]uint64, sets*ways),
+		capacity: capacityBytes,
+	}
+}
+
+// Name returns the cache's diagnostic name.
+func (c *SetAssoc) Name() string { return c.name }
+
+// Ways returns the associativity.
+func (c *SetAssoc) Ways() int { return c.ways }
+
+// Sets returns the number of sets.
+func (c *SetAssoc) Sets() int { return c.sets }
+
+// SizeBytes returns the capacity in bytes.
+func (c *SetAssoc) SizeBytes() int64 { return c.capacity }
+
+// Stats returns the accumulated statistics.
+func (c *SetAssoc) Stats() *Stats { return &c.stats }
+
+// Reset clears contents and statistics.
+func (c *SetAssoc) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+		c.age[i] = 0
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}
+
+func (c *SetAssoc) setBase(lineAddr uint64) int {
+	return int(lineAddr&c.setMask) * c.ways
+}
+
+// Access implements Cache.
+func (c *SetAssoc) Access(lineAddr uint64, write bool) (bool, Line) {
+	c.stats.Accesses++
+	base := c.setBase(lineAddr)
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == lineAddr && c.valid[i] {
+			c.stats.Hits++
+			c.clock++
+			c.age[i] = c.clock
+			if write {
+				c.dirty[i] = true
+			}
+			return true, Line{}
+		}
+	}
+	c.stats.Misses++
+	return false, c.fill(base, lineAddr, write)
+}
+
+// Probe implements Cache.
+func (c *SetAssoc) Probe(lineAddr uint64) bool {
+	base := c.setBase(lineAddr)
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == lineAddr && c.valid[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate implements Cache.
+func (c *SetAssoc) Invalidate(lineAddr uint64) (bool, bool) {
+	base := c.setBase(lineAddr)
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == lineAddr && c.valid[i] {
+			d := c.dirty[i]
+			c.valid[i] = false
+			c.dirty[i] = false
+			c.age[i] = 0
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// Insert implements Cache.
+func (c *SetAssoc) Insert(lineAddr uint64, dirty bool) Line {
+	base := c.setBase(lineAddr)
+	// If already present, refresh state instead of duplicating.
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == lineAddr && c.valid[i] {
+			c.dirty[i] = c.dirty[i] || dirty
+			c.clock++
+			c.age[i] = c.clock
+			return Line{}
+		}
+	}
+	return c.fill(base, lineAddr, dirty)
+}
+
+// fill installs a line, evicting the LRU way if the set is full.
+func (c *SetAssoc) fill(base int, lineAddr uint64, dirty bool) Line {
+	victim := base
+	var oldest uint64 = ^uint64(0)
+	for i := base; i < base+c.ways; i++ {
+		if !c.valid[i] {
+			victim = i
+			oldest = 0
+			break
+		}
+		if c.age[i] < oldest {
+			oldest, victim = c.age[i], i
+		}
+	}
+	var ev Line
+	if c.valid[victim] {
+		ev = Line{Addr: c.tags[victim], Dirty: c.dirty[victim], Valid: true}
+		c.stats.Evictions++
+		if ev.Dirty {
+			c.stats.Writebacks++
+		}
+	}
+	c.clock++
+	c.tags[victim] = lineAddr
+	c.valid[victim] = true
+	c.dirty[victim] = dirty
+	c.age[victim] = c.clock
+	return ev
+}
+
+var _ Cache = (*SetAssoc)(nil)

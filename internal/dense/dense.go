@@ -1,0 +1,147 @@
+// Package dense provides the dense-matrix substrate used by the GEMM
+// and Cholesky kernels: row-major float64 matrices, deterministic
+// random fills, and reference routines for validating the tiled
+// parallel implementations in internal/kernels.
+package dense
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Matrix is a row-major dense matrix.
+type Matrix struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float64
+}
+
+// New allocates a zero matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("dense: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Stride: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Stride+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Stride+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Stride : i*m.Stride+m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(c.Row(i), m.Row(i))
+	}
+	return c
+}
+
+// FillRandom fills with deterministic uniform values in [-1, 1).
+func (m *Matrix) FillRandom(seed uint64) {
+	rng := rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb))
+	for i := range m.Data {
+		m.Data[i] = 2*rng.Float64() - 1
+	}
+}
+
+// FillSPD fills the matrix with a symmetric positive-definite pattern:
+// random symmetric entries with a dominant diagonal, the standard way
+// to make Cholesky inputs well posed.
+func (m *Matrix) FillSPD(seed uint64) {
+	if m.Rows != m.Cols {
+		panic(fmt.Sprintf("dense: FillSPD needs square matrix, got %dx%d", m.Rows, m.Cols))
+	}
+	rng := rand.New(rand.NewPCG(seed, seed+0x2545f4914f6cdd1d))
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := (2*rng.Float64() - 1) / float64(n)
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 2+rng.Float64())
+	}
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if d := math.Abs(ra[j] - rb[j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// GEMMRef computes C = alpha*A*B + beta*C with the naive triple loop —
+// the correctness oracle for the tiled kernel.
+func GEMMRef(alpha float64, a, b *Matrix, beta float64, c *Matrix) error {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		return fmt.Errorf("dense: GEMM shape mismatch %dx%d * %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols)
+	}
+	for i := 0; i < c.Rows; i++ {
+		ci := c.Row(i)
+		for j := range ci {
+			ci[j] *= beta
+		}
+		for k := 0; k < a.Cols; k++ {
+			aik := alpha * a.At(i, k)
+			bk := b.Row(k)
+			for j := range ci {
+				ci[j] += aik * bk[j]
+			}
+		}
+	}
+	return nil
+}
+
+// CholeskyRef computes the lower Cholesky factor in place with the
+// unblocked algorithm — the correctness oracle for the tiled kernel.
+// The strict upper triangle is zeroed.
+func CholeskyRef(a *Matrix) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("dense: Cholesky needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= a.At(j, k) * a.At(j, k)
+		}
+		if d <= 0 {
+			return fmt.Errorf("dense: matrix not positive definite at column %d", j)
+		}
+		d = math.Sqrt(d)
+		a.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			v := a.At(i, j)
+			for k := 0; k < j; k++ {
+				v -= a.At(i, k) * a.At(j, k)
+			}
+			a.Set(i, j, v/d)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a.Set(i, j, 0)
+		}
+	}
+	return nil
+}

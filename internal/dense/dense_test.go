@@ -1,0 +1,165 @@
+package dense
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewAndAccess(t *testing.T) {
+	m := New(3, 4)
+	m.Set(1, 2, 7.5)
+	if m.At(1, 2) != 7.5 {
+		t.Fatal("Set/At broken")
+	}
+	if m.At(0, 0) != 0 {
+		t.Fatal("new matrix not zeroed")
+	}
+	if len(m.Row(2)) != 4 {
+		t.Fatal("row length wrong")
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestFillRandomDeterministic(t *testing.T) {
+	a, b := New(5, 5), New(5, 5)
+	a.FillRandom(3)
+	b.FillRandom(3)
+	if MaxAbsDiff(a, b) != 0 {
+		t.Fatal("same seed differs")
+	}
+	c := New(5, 5)
+	c.FillRandom(4)
+	if MaxAbsDiff(a, c) == 0 {
+		t.Fatal("different seeds identical")
+	}
+	for _, v := range a.Data {
+		if v < -1 || v >= 1 {
+			t.Fatalf("value %v outside [-1,1)", v)
+		}
+	}
+}
+
+func TestFillSPDIsSymmetricDominant(t *testing.T) {
+	m := New(16, 16)
+	m.FillSPD(7)
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				t.Fatal("not symmetric")
+			}
+		}
+		if m.At(i, i) < 2 {
+			t.Fatal("diagonal not dominant")
+		}
+	}
+}
+
+func TestFillSPDPanicsNonSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 3).FillSPD(1)
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a, b := New(2, 2), New(2, 2)
+	a.Set(1, 1, 3)
+	b.Set(1, 1, 5)
+	if got := MaxAbsDiff(a, b); got != 2 {
+		t.Fatalf("diff = %v, want 2", got)
+	}
+	if !math.IsInf(MaxAbsDiff(a, New(3, 3)), 1) {
+		t.Fatal("shape mismatch should be +Inf")
+	}
+}
+
+func TestGEMMRefIdentity(t *testing.T) {
+	n := 8
+	eye := New(n, n)
+	for i := 0; i < n; i++ {
+		eye.Set(i, i, 1)
+	}
+	a := New(n, n)
+	a.FillRandom(1)
+	c := New(n, n)
+	if err := GEMMRef(1, a, eye, 0, c); err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(a, c) > 1e-15 {
+		t.Fatal("A*I != A")
+	}
+}
+
+func TestGEMMRefAlphaBeta(t *testing.T) {
+	a, b := New(2, 2), New(2, 2)
+	a.Set(0, 0, 1)
+	b.Set(0, 0, 1)
+	c := New(2, 2)
+	c.Set(0, 0, 10)
+	if err := GEMMRef(2, a, b, 0.5, c); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.At(0, 0); got != 7 { // 2*1*1 + 0.5*10
+		t.Fatalf("c[0,0] = %v, want 7", got)
+	}
+}
+
+func TestGEMMRefShapeError(t *testing.T) {
+	if GEMMRef(1, New(2, 3), New(2, 3), 0, New(2, 3)) == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestCholeskyRefReconstructs(t *testing.T) {
+	n := 12
+	a := New(n, n)
+	a.FillSPD(5)
+	orig := a.Clone()
+	if err := CholeskyRef(a); err != nil {
+		t.Fatal(err)
+	}
+	// L * L^T must reconstruct the original.
+	lt := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			lt.Set(i, j, a.At(j, i))
+		}
+	}
+	rec := New(n, n)
+	if err := GEMMRef(1, a, lt, 0, rec); err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(orig, rec); d > 1e-10 {
+		t.Fatalf("L*L^T reconstruction error %v", d)
+	}
+}
+
+func TestCholeskyRefRejects(t *testing.T) {
+	if CholeskyRef(New(2, 3)) == nil {
+		t.Fatal("non-square accepted")
+	}
+	bad := New(2, 2) // zero matrix is not PD
+	if CholeskyRef(bad) == nil {
+		t.Fatal("non-PD accepted")
+	}
+}

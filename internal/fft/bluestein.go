@@ -1,0 +1,177 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// AnyPlan computes DFTs of arbitrary length: power-of-two lengths use
+// the radix-2 Plan directly; other lengths use Bluestein's chirp-z
+// algorithm (the DFT as a convolution evaluated with a padded
+// power-of-two FFT). The paper's FFTW handles arbitrary sizes the same
+// way; this extension lets the FFT workload sweep the exact grid sizes
+// of Appendix A.2.7 (e.g. 96³, 592³) rather than rounding to powers of
+// two.
+type AnyPlan struct {
+	n     int
+	pow2  *Plan // direct plan when n is a power of two
+	conv  *Plan // padded convolution plan otherwise
+	chirp []complex128
+	// bq is the precomputed FFT of the chirp filter b.
+	bq []complex128
+}
+
+// NewAnyPlan builds a plan for any length n ≥ 1.
+func NewAnyPlan(n int) (*AnyPlan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fft: length %d must be positive", n)
+	}
+	p := &AnyPlan{n: n}
+	if n&(n-1) == 0 {
+		pl, err := NewPlan(n)
+		if err != nil {
+			return nil, err
+		}
+		p.pow2 = pl
+		return p, nil
+	}
+	// Convolution length: the next power of two ≥ 2n-1.
+	m := 1 << bits.Len(uint(2*n-2))
+	conv, err := NewPlan(m)
+	if err != nil {
+		return nil, err
+	}
+	p.conv = conv
+	// Chirp a_k = exp(-iπ k²/n). k² mod 2n keeps the angle exact for
+	// large k.
+	p.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := int64(k) * int64(k) % int64(2*n)
+		s, c := math.Sincos(-math.Pi * float64(kk) / float64(n))
+		p.chirp[k] = complex(c, s)
+	}
+	// Filter b_k = conj(chirp), wrapped: b[0]=1, b[k]=b[m-k]=conj(a_k).
+	b := make([]complex128, m)
+	b[0] = 1
+	for k := 1; k < n; k++ {
+		v := complex(real(p.chirp[k]), -imag(p.chirp[k]))
+		b[k] = v
+		b[m-k] = v
+	}
+	if err := conv.Transform(b, false); err != nil {
+		return nil, err
+	}
+	p.bq = b
+	return p, nil
+}
+
+// N returns the transform length.
+func (p *AnyPlan) N() int { return p.n }
+
+// Transform computes the in-place unnormalized DFT (or unnormalized
+// inverse) of x, which must have length N.
+func (p *AnyPlan) Transform(x []complex128, inverse bool) error {
+	if len(x) != p.n {
+		return fmt.Errorf("fft: length %d, plan is for %d", len(x), p.n)
+	}
+	if p.pow2 != nil {
+		return p.pow2.Transform(x, inverse)
+	}
+	// Inverse via conjugation: IDFT(x) = conj(DFT(conj(x))).
+	if inverse {
+		conjInPlace(x)
+	}
+	m := p.conv.N()
+	a := make([]complex128, m)
+	for k := 0; k < p.n; k++ {
+		a[k] = x[k] * p.chirp[k]
+	}
+	if err := p.conv.Transform(a, false); err != nil {
+		return err
+	}
+	for k := range a {
+		a[k] *= p.bq[k]
+	}
+	if err := p.conv.Transform(a, true); err != nil {
+		return err
+	}
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < p.n; k++ {
+		x[k] = a[k] * scale * p.chirp[k]
+	}
+	if inverse {
+		conjInPlace(x)
+	}
+	return nil
+}
+
+func conjInPlace(x []complex128) {
+	for i := range x {
+		x[i] = complex(real(x[i]), -imag(x[i]))
+	}
+}
+
+// FFT3DAny transforms a 3D array of any (nz, ny, nx) shape in place,
+// pass-ordered like FFT3D. The inverse is normalized.
+func FFT3DAny(data []complex128, nx, ny, nz int, inverse bool, workers int) error {
+	if len(data) != nx*ny*nz {
+		return fmt.Errorf("fft: data length %d != %d*%d*%d", len(data), nx, ny, nz)
+	}
+	px, err := NewAnyPlan(nx)
+	if err != nil {
+		return err
+	}
+	py, err := NewAnyPlan(ny)
+	if err != nil {
+		return err
+	}
+	pz, err := NewAnyPlan(nz)
+	if err != nil {
+		return err
+	}
+	// Y pass.
+	if err := anyStridePass(data, py, ny, nx, nz*nx, inverse, workers, func(line int) int {
+		z := line / nx
+		x := line % nx
+		return z*nx*ny + x
+	}); err != nil {
+		return err
+	}
+	// X pass (contiguous).
+	if err := parallelLines(ny*nz, workers, func(line int) error {
+		return px.Transform(data[line*nx:(line+1)*nx], inverse)
+	}); err != nil {
+		return err
+	}
+	// Z pass.
+	if err := anyStridePass(data, pz, nz, nx*ny, ny*nx, inverse, workers, func(line int) int {
+		return line
+	}); err != nil {
+		return err
+	}
+	if inverse {
+		scale := complex(1/float64(nx*ny*nz), 0)
+		for i := range data {
+			data[i] *= scale
+		}
+	}
+	return nil
+}
+
+func anyStridePass(data []complex128, p *AnyPlan, n, stride, lines int, inverse bool, workers int, base func(line int) int) error {
+	return parallelLines(lines, workers, func(line int) error {
+		scratch := make([]complex128, n)
+		b := base(line)
+		for i := 0; i < n; i++ {
+			scratch[i] = data[b+i*stride]
+		}
+		if err := p.Transform(scratch, inverse); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			data[b+i*stride] = scratch[i]
+		}
+		return nil
+	})
+}

@@ -1,0 +1,137 @@
+package fft
+
+import (
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestAnyPlanMatchesDFT(t *testing.T) {
+	// Non-powers of two, including the paper's FFT sweep sizes (96 is
+	// the Appendix A.2.7 starting dimension).
+	for _, n := range []int{1, 2, 3, 5, 7, 12, 96, 100, 127, 592} {
+		p, err := NewAnyPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.N() != n {
+			t.Fatal("N mismatch")
+		}
+		x := randVec(n, uint64(n)+1)
+		want := dftRef(x, false)
+		got := append([]complex128(nil), x...)
+		if err := p.Transform(got, false); err != nil {
+			t.Fatal(err)
+		}
+		if e := maxErr(want, got); e > 1e-8*float64(n) {
+			t.Fatalf("n=%d: max error %v", n, e)
+		}
+	}
+}
+
+func TestAnyPlanInverseRoundTrip(t *testing.T) {
+	for _, n := range []int{6, 96, 250} {
+		p, err := NewAnyPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randVec(n, 77)
+		y := append([]complex128(nil), x...)
+		if err := p.Transform(y, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Transform(y, true); err != nil {
+			t.Fatal(err)
+		}
+		for i := range y {
+			y[i] /= complex(float64(n), 0)
+		}
+		if e := maxErr(x, y); e > 1e-9 {
+			t.Fatalf("n=%d: round trip error %v", n, e)
+		}
+	}
+}
+
+func TestAnyPlanErrors(t *testing.T) {
+	if _, err := NewAnyPlan(0); err == nil {
+		t.Fatal("zero length accepted")
+	}
+	p, _ := NewAnyPlan(5)
+	if p.Transform(make([]complex128, 4), false) == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestAnyPlanUsesDirectPathForPow2(t *testing.T) {
+	p, err := NewAnyPlan(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.pow2 == nil || p.conv != nil {
+		t.Fatal("power-of-two length should use the radix-2 path")
+	}
+}
+
+func TestFFT3DAnyRoundTrip(t *testing.T) {
+	// The paper's actual grid shape family: 96×96×96 (scaled down to
+	// keep the test fast: 12×10×6).
+	nx, ny, nz := 12, 10, 6
+	data := randVec(nx*ny*nz, 13)
+	orig := append([]complex128(nil), data...)
+	if err := FFT3DAny(data, nx, ny, nz, false, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := FFT3DAny(data, nx, ny, nz, true, 2); err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(orig, data); e > 1e-9 {
+		t.Fatalf("round trip error %v", e)
+	}
+}
+
+func TestFFT3DAnyMatchesPow2Path(t *testing.T) {
+	nx, ny, nz := 8, 4, 4
+	a := randVec(nx*ny*nz, 3)
+	b := append([]complex128(nil), a...)
+	if err := FFT3D(a, nx, ny, nz, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := FFT3DAny(b, nx, ny, nz, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(a, b); e > 1e-9 {
+		t.Fatalf("paths disagree by %v", e)
+	}
+}
+
+func TestFFT3DAnyBadShape(t *testing.T) {
+	if FFT3DAny(make([]complex128, 5), 2, 2, 2, false, 1) == nil {
+		t.Fatal("wrong length accepted")
+	}
+}
+
+// Property: AnyPlan matches the direct DFT for random small lengths.
+func TestPropertyAnyPlanMatchesDFT(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 2 + int(seed%60)
+		p, err := NewAnyPlan(n)
+		if err != nil {
+			return false
+		}
+		x := randVec(n, seed)
+		want := dftRef(x, false)
+		got := append([]complex128(nil), x...)
+		if p.Transform(got, false) != nil {
+			return false
+		}
+		for i := range got {
+			if cmplx.Abs(got[i]-want[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

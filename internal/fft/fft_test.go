@@ -1,0 +1,283 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// dftRef is the O(n²) direct DFT oracle.
+func dftRef(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			s += x[j] * cmplx.Exp(complex(0, sign*2*math.Pi*float64(k*j)/float64(n)))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func maxErr(a, b []complex128) float64 {
+	worst := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func randVec(n int, seed uint64) []complex128 {
+	rng := rand.New(rand.NewPCG(seed, 77))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+	}
+	return x
+}
+
+func TestNewPlanRejectsNonPow2(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 6, 100} {
+		if _, err := NewPlan(n); err == nil {
+			t.Errorf("NewPlan(%d) accepted", n)
+		}
+	}
+	p, err := NewPlan(8)
+	if err != nil || p.N() != 8 {
+		t.Fatal("NewPlan(8) failed")
+	}
+}
+
+func TestTransformMatchesDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 32, 128} {
+		p, err := NewPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randVec(n, uint64(n))
+		want := dftRef(x, false)
+		got := append([]complex128(nil), x...)
+		if err := p.Transform(got, false); err != nil {
+			t.Fatal(err)
+		}
+		if e := maxErr(want, got); e > 1e-9*float64(n) {
+			t.Fatalf("n=%d: max error %v", n, e)
+		}
+	}
+}
+
+func TestTransformLengthMismatch(t *testing.T) {
+	p, _ := NewPlan(8)
+	if p.Transform(make([]complex128, 4), false) == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	n := 64
+	p, _ := NewPlan(n)
+	x := randVec(n, 5)
+	y := append([]complex128(nil), x...)
+	if err := p.Transform(y, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Transform(y, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		y[i] /= complex(float64(n), 0)
+	}
+	if e := maxErr(x, y); e > 1e-12 {
+		t.Fatalf("round trip error %v", e)
+	}
+}
+
+func TestParsevalTheorem(t *testing.T) {
+	n := 256
+	p, _ := NewPlan(n)
+	x := randVec(n, 9)
+	var timeE float64
+	for _, v := range x {
+		timeE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	y := append([]complex128(nil), x...)
+	if err := p.Transform(y, false); err != nil {
+		t.Fatal(err)
+	}
+	var freqE float64
+	for _, v := range y {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqE/float64(n)-timeE) > 1e-9*timeE {
+		t.Fatalf("Parseval violated: %v vs %v", freqE/float64(n), timeE)
+	}
+}
+
+func TestImpulseResponseIsFlat(t *testing.T) {
+	n := 32
+	p, _ := NewPlan(n)
+	x := make([]complex128, n)
+	x[0] = 1
+	if err := p.Transform(x, false); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse spectrum not flat at %d: %v", i, v)
+		}
+	}
+}
+
+func TestFFT3DRoundTrip(t *testing.T) {
+	nx, ny, nz := 8, 16, 4
+	data := randVec(nx*ny*nz, 3)
+	orig := append([]complex128(nil), data...)
+	if err := FFT3D(data, nx, ny, nz, false, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := FFT3D(data, nx, ny, nz, true, 4); err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(orig, data); e > 1e-10 {
+		t.Fatalf("3D round-trip error %v", e)
+	}
+}
+
+func TestFFT3DConstantField(t *testing.T) {
+	nx, ny, nz := 4, 4, 4
+	n := nx * ny * nz
+	data := make([]complex128, n)
+	for i := range data {
+		data[i] = 1
+	}
+	if err := FFT3D(data, nx, ny, nz, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	// DC bin holds the total mass; everything else is zero.
+	if cmplx.Abs(data[0]-complex(float64(n), 0)) > 1e-9 {
+		t.Fatalf("DC bin = %v, want %d", data[0], n)
+	}
+	for i := 1; i < n; i++ {
+		if cmplx.Abs(data[i]) > 1e-9 {
+			t.Fatalf("non-DC bin %d = %v", i, data[i])
+		}
+	}
+}
+
+func TestFFT3DSeparability(t *testing.T) {
+	// A product of 1D signals transforms into the product of their 1D
+	// spectra: checks the pass order and strides are consistent.
+	nx, ny, nz := 8, 4, 2
+	fx := randVec(nx, 1)
+	fy := randVec(ny, 2)
+	fz := randVec(nz, 3)
+	data := make([]complex128, nx*ny*nz)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				data[(z*ny+y)*nx+x] = fx[x] * fy[y] * fz[z]
+			}
+		}
+	}
+	if err := FFT3D(data, nx, ny, nz, false, 2); err != nil {
+		t.Fatal(err)
+	}
+	gx, gy, gz := dftRef(fx, false), dftRef(fy, false), dftRef(fz, false)
+	worst := 0.0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				want := gx[x] * gy[y] * gz[z]
+				got := data[(z*ny+y)*nx+x]
+				if d := cmplx.Abs(want - got); d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	if worst > 1e-9 {
+		t.Fatalf("separability error %v", worst)
+	}
+}
+
+func TestFFT3DBadShape(t *testing.T) {
+	if FFT3D(make([]complex128, 10), 2, 2, 2, false, 1) == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if FFT3D(make([]complex128, 12), 3, 2, 2, false, 1) == nil {
+		t.Fatal("non-pow2 accepted")
+	}
+}
+
+func TestFlopsFormula(t *testing.T) {
+	if Flops(1) != 0 {
+		t.Fatal("Flops(1) should be 0")
+	}
+	if got, want := Flops(1024), 5.0*1024*10; got != want {
+		t.Fatalf("Flops(1024) = %v, want %v", got, want)
+	}
+}
+
+// Property: linearity of the transform.
+func TestPropertyLinearity(t *testing.T) {
+	p, _ := NewPlan(64)
+	f := func(seed uint64) bool {
+		a := randVec(64, seed)
+		b := randVec(64, seed+1)
+		sum := make([]complex128, 64)
+		for i := range sum {
+			sum[i] = 2*a[i] + 3*b[i]
+		}
+		fa := append([]complex128(nil), a...)
+		fb := append([]complex128(nil), b...)
+		fs := append([]complex128(nil), sum...)
+		if p.Transform(fa, false) != nil || p.Transform(fb, false) != nil || p.Transform(fs, false) != nil {
+			return false
+		}
+		for i := range fs {
+			if cmplx.Abs(fs[i]-(2*fa[i]+3*fb[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFFT3D(b *testing.B) {
+	nx, ny, nz := 64, 64, 32
+	data := randVec(nx*ny*nz, 1)
+	b.SetBytes(int64(len(data)) * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := FFT3D(data, nx, ny, nz, i%2 == 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(Flops(nx*ny*nz)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlop/s")
+}
+
+func BenchmarkBluestein(b *testing.B) {
+	p, err := NewAnyPlan(96)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randVec(96, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Transform(x, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/plot"
+	"repro/internal/trace"
+)
+
+// denseGrid returns the paper's (order, block) sweep for a platform
+// (Appendix A.2.1/A.2.2): orders 256..16128 step 512 on Broadwell and
+// 256..32000 step 1024 on KNL; blocks 128..4096 step 128 on both. The
+// analytic dense model is cheap, so quick mode only coarsens the block
+// axis.
+func denseGrid(p *platform.Platform, full bool) (orders, blocks []int) {
+	if p.Name == "broadwell" {
+		for n := 256; n <= 16128; n += 512 {
+			orders = append(orders, n)
+		}
+	} else {
+		for n := 256; n <= 32000; n += 1024 {
+			orders = append(orders, n)
+		}
+	}
+	step := 128
+	if !full {
+		step = 256
+	}
+	for nb := 128; nb <= 4096; nb += step {
+		blocks = append(blocks, nb)
+	}
+	return orders, blocks
+}
+
+func denseKind(kernel string) (trace.DenseKind, error) {
+	switch kernel {
+	case "GEMM":
+		return trace.DenseGEMM, nil
+	case "Cholesky":
+		return trace.DenseCholesky, nil
+	}
+	return 0, fmt.Errorf("harness: unknown dense kernel %q", kernel)
+}
+
+// denseHeatmapRunner builds Figures 7/8 (Broadwell) and 15/16 (KNL):
+// one (block × order) GFlop/s heat map per memory mode.
+func denseHeatmapRunner(platName, kernel string) func(Options) (*Report, error) {
+	return func(opt Options) (*Report, error) {
+		kind, err := denseKind(kernel)
+		if err != nil {
+			return nil, err
+		}
+		base, opms, plat, err := machineSet(platName)
+		if err != nil {
+			return nil, err
+		}
+		machines := append([]*core.Machine{base}, opms...)
+		orders, blocks := denseGrid(plat, opt.Full)
+
+		rep := &Report{CSV: map[string][]string{}}
+		var b strings.Builder
+		for _, m := range machines {
+			grid := make([][]float64, len(blocks))
+			csv := []string{csvLine("order", "block", "gflops", "bound")}
+			peak := 0.0
+			peakN, peakNB := 0, 0
+			for bi, nb := range blocks {
+				grid[bi] = make([]float64, len(orders))
+				for oi, n := range orders {
+					r, err := m.RunDense(kind, n, nb)
+					if err != nil {
+						return nil, err
+					}
+					grid[bi][oi] = r.GFlops
+					if r.GFlops > peak {
+						peak, peakN, peakNB = r.GFlops, n, nb
+					}
+					csv = append(csv, csvLine(fmt.Sprint(n), fmt.Sprint(nb), f(r.GFlops), string(r.Bound)))
+				}
+			}
+			label := fmt.Sprintf("%s %s (%s)", kernel, platName, m.Mode)
+			b.WriteString(plot.Heatmap(
+				fmt.Sprintf("%s GFlop/s heat map — peak %.1f at n=%d nb=%d", label, peak, peakN, peakNB),
+				grid, "matrix order", "block size"))
+			b.WriteString("\n")
+			rep.CSV[fmt.Sprintf("%s_%s_%s.csv", strings.ToLower(kernel), platName, m.Mode)] = csv
+			rep.Findings = append(rep.Findings,
+				fmt.Sprintf("%s best: %.1f GFlop/s (n=%d, nb=%d)", label, peak, peakN, peakNB))
+		}
+		rep.Text = b.String()
+		return rep, nil
+	}
+}

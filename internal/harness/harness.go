@@ -1,0 +1,179 @@
+// Package harness maps every table and figure of the paper's
+// evaluation section to a runnable experiment. Each experiment sweeps
+// the same parameter space as the paper (scaled per DESIGN.md),
+// renders the figure as text, emits CSV series, and reports headline
+// findings (the numbers EXPERIMENTS.md records against the paper).
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/platform"
+)
+
+// Options controls experiment scale and output.
+type Options struct {
+	// Full selects the paper's complete sweeps (968 matrices, fine
+	// heat-map grids). The default quick mode subsamples them to keep
+	// a full reproduction run in minutes.
+	Full bool
+	// OutDir, when set, receives one CSV per emitted series.
+	OutDir string
+	// Stride overrides the sparse-suite subsampling (default 16 in
+	// quick mode, 1 in full mode). Tests use large strides.
+	Stride int
+	// CurvePoints overrides the footprint-sweep resolution (default
+	// 16 quick / 32 full).
+	CurvePoints int
+	// MaxPaperFootprint, when positive, drops sparse-suite matrices
+	// larger than this many bytes at paper scale (tests use it).
+	MaxPaperFootprint int64
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID       string
+	Title    string
+	Text     string              // rendered figure/table
+	CSV      map[string][]string // file name -> lines (header first)
+	Findings []string            // headline paper-vs-measured notes
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(opt Options) (*Report, error)
+}
+
+// Registry returns all experiments in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{ID: "table2", Title: "Table 2 / Fig 4: kernel characteristics and AI spectrum", Run: runTable2},
+		{ID: "fig5", Title: "Fig 5: roofline models for eDRAM and MCDRAM", Run: runFig5},
+		{ID: "fig6", Title: "Fig 6: the Stepping model", Run: runFig6},
+		{ID: "fig1", Title: "Fig 1: GEMM achievable-performance density w/ and w/o eDRAM", Run: runFig1},
+		{ID: "fig7", Title: "Fig 7: GEMM on Broadwell heat maps", Run: denseHeatmapRunner("broadwell", "GEMM")},
+		{ID: "fig8", Title: "Fig 8: Cholesky on Broadwell heat maps", Run: denseHeatmapRunner("broadwell", "Cholesky")},
+		{ID: "fig9", Title: "Fig 9: SpMV on Broadwell", Run: sparseRunner("broadwell", "SpMV")},
+		{ID: "fig10", Title: "Fig 10: SpTRANS on Broadwell", Run: sparseRunner("broadwell", "SpTRANS")},
+		{ID: "fig11", Title: "Fig 11: SpTRSV on Broadwell", Run: sparseRunner("broadwell", "SpTRSV")},
+		{ID: "fig12", Title: "Fig 12: Stream on Broadwell", Run: curveRunner("broadwell", "Stream")},
+		{ID: "fig13", Title: "Fig 13: Stencil on Broadwell", Run: curveRunner("broadwell", "Stencil")},
+		{ID: "fig14", Title: "Fig 14: FFT on Broadwell", Run: curveRunner("broadwell", "FFT")},
+		{ID: "fig15", Title: "Fig 15: GEMM on KNL heat maps (4 modes)", Run: denseHeatmapRunner("knl", "GEMM")},
+		{ID: "fig16", Title: "Fig 16: Cholesky on KNL heat maps (4 modes)", Run: denseHeatmapRunner("knl", "Cholesky")},
+		{ID: "fig17", Title: "Fig 17 / Fig 20: SpMV on KNL", Run: sparseRunner("knl", "SpMV")},
+		{ID: "fig18", Title: "Fig 18 / Fig 21: SpTRANS on KNL", Run: sparseRunner("knl", "SpTRANS")},
+		{ID: "fig19", Title: "Fig 19 / Fig 22: SpTRSV on KNL", Run: sparseRunner("knl", "SpTRSV")},
+		{ID: "fig23", Title: "Fig 23: Stream on KNL (4 modes)", Run: curveRunner("knl", "Stream")},
+		{ID: "fig24", Title: "Fig 24: Stencil on KNL (4 modes)", Run: curveRunner("knl", "Stencil")},
+		{ID: "fig25", Title: "Fig 25: FFT on KNL (4 modes)", Run: curveRunner("knl", "FFT")},
+		{ID: "table4", Title: "Table 4: eDRAM summary statistics", Run: runTable4},
+		{ID: "table5", Title: "Table 5: MCDRAM summary statistics", Run: runTable5},
+		{ID: "fig26", Title: "Fig 26: Broadwell power", Run: powerRunner("broadwell")},
+		{ID: "fig27", Title: "Fig 27: KNL power (+ Eq. 1 break-even)", Run: powerRunner("knl")},
+		{ID: "fig28", Title: "Fig 28: eDRAM tuning via Stepping model", Run: runFig28},
+		{ID: "fig29", Title: "Fig 29: MCDRAM tuning via Stepping model", Run: runFig29},
+		{ID: "fig30", Title: "Fig 30: tuning OPM hardware (capacity/bandwidth what-ifs)", Run: runFig30},
+	}
+}
+
+// RegistryWithExtensions appends the beyond-the-paper experiments
+// (Skylake memory-side eDRAM, multi-tenant sharing, model ablations).
+func RegistryWithExtensions() []Experiment {
+	return append(Registry(), extensionExperiments()...)
+}
+
+// Get returns the experiment with the given ID (paper experiments and
+// extensions alike).
+func Get(id string) (Experiment, error) {
+	for _, e := range RegistryWithExtensions() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range RegistryWithExtensions() {
+		ids = append(ids, e.ID)
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (known: %s)", id, strings.Join(ids, ", "))
+}
+
+// IDs lists the paper experiment IDs in order (extensions excluded;
+// see ExtensionIDs).
+func IDs() []string {
+	var ids []string
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// ExtensionIDs lists the beyond-the-paper experiment IDs.
+func ExtensionIDs() []string {
+	var ids []string
+	for _, e := range extensionExperiments() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// WriteCSVs persists a report's CSV series under opt.OutDir.
+func (r *Report) WriteCSVs(dir string) error {
+	if dir == "" || len(r.CSV) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("harness: %w", err)
+	}
+	names := make([]string, 0, len(r.CSV))
+	for name := range r.CSV {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(strings.Join(r.CSV[name], "\n")+"\n"), 0o644); err != nil {
+			return fmt.Errorf("harness: writing %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// machineSet returns the machines the paper compares on a platform:
+// (baseline, OPM variants).
+func machineSet(platName string) (base *core.Machine, opm []*core.Machine, plat *platform.Platform, err error) {
+	switch platName {
+	case "broadwell":
+		plat = platform.Broadwell()
+	case "knl":
+		plat = platform.KNL()
+	default:
+		return nil, nil, nil, fmt.Errorf("harness: unknown platform %q", platName)
+	}
+	for _, mode := range plat.Modes {
+		m, err := core.NewMachine(plat, mode)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if mode == memsim.ModeDDR {
+			base = m
+		} else {
+			opm = append(opm, m)
+		}
+	}
+	return base, opm, plat, nil
+}
+
+func csvLine(fields ...string) string { return strings.Join(fields, ",") }
+
+func f(v float64) string { return fmt.Sprintf("%.6g", v) }
+
+func i64(v int64) string { return fmt.Sprintf("%d", v) }

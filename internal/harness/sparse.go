@@ -1,0 +1,202 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/platform"
+	"repro/internal/plot"
+	"repro/internal/sparse"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// suite selects the matrix collection for one platform run. The paper
+// uses all 968 UF matrices; quick mode subsamples, and Broadwell drops
+// the multi-GB tail its figures do not reach.
+func suite(p *platform.Platform, opt Options) []sparse.Spec {
+	specs := sparse.Collection()
+	if p.Name == "broadwell" {
+		specs = sparse.FilterMaxFootprint(specs, 1<<30)
+	}
+	if opt.MaxPaperFootprint > 0 {
+		specs = sparse.FilterMaxFootprint(specs, opt.MaxPaperFootprint)
+	}
+	stride := 16
+	if opt.Full {
+		stride = 1
+	}
+	if opt.Stride > 0 {
+		stride = opt.Stride
+	}
+	return sparse.Subsample(specs, stride)
+}
+
+// sparseWorkload builds the trace workload of a sparse kernel for one
+// instantiated matrix.
+func sparseWorkload(kernel string, m *sparse.CSR) (trace.Workload, error) {
+	switch kernel {
+	case "SpMV":
+		return &trace.SpMV{M: m}, nil
+	case "SpTRANS":
+		return &trace.SpTRANS{M: m}, nil
+	case "SpTRSV":
+		return trace.NewSpTRSV(m)
+	}
+	return nil, fmt.Errorf("harness: unknown sparse kernel %q", kernel)
+}
+
+// sparsePoint is one matrix × one machine observation.
+type sparsePoint struct {
+	Spec      sparse.Spec
+	Rows, NNZ int
+	Footprint int64 // reported (paper) scale
+	GFlops    map[memsim.Mode]float64
+}
+
+// runSparse sweeps the suite over all modes of a platform.
+func runSparse(platName, kernel string, opt Options) ([]sparsePoint, []*core.Machine, error) {
+	base, opms, plat, err := machineSet(platName)
+	if err != nil {
+		return nil, nil, err
+	}
+	machines := append([]*core.Machine{base}, opms...)
+	var points []sparsePoint
+	for _, spec := range suite(plat, opt) {
+		m := spec.Instantiate(plat.Scale)
+		w, err := sparseWorkload(kernel, m)
+		if err != nil {
+			return nil, nil, err
+		}
+		pt := sparsePoint{
+			Spec: spec,
+			Rows: m.Rows,
+			NNZ:  m.NNZ(),
+			// Structure axes are reported at paper scale too: the
+			// suite's instantiation shrinks rows/nnz by ~Scale.
+			Footprint: 0,
+			GFlops:    map[memsim.Mode]float64{},
+		}
+		for _, mach := range machines {
+			r, err := mach.Run(w)
+			if err != nil {
+				return nil, nil, err
+			}
+			pt.GFlops[mach.Mode] = r.GFlops
+			pt.Footprint = r.FootprintBytes
+		}
+		points = append(points, pt)
+	}
+	return points, machines, nil
+}
+
+// sparseRunner builds Figures 9–11 (Broadwell) and 17–22 (KNL): raw
+// throughput vs footprint, speedups vs the DDR baseline, and the
+// rows×nnz structure heat map.
+func sparseRunner(platName, kernel string) func(Options) (*Report, error) {
+	return func(opt Options) (*Report, error) {
+		points, machines, err := runSparse(platName, kernel, opt)
+		if err != nil {
+			return nil, err
+		}
+		if len(points) == 0 {
+			return nil, fmt.Errorf("harness: empty sparse suite")
+		}
+		rep := &Report{CSV: map[string][]string{}}
+		var b strings.Builder
+
+		// Raw throughput scatter (per mode).
+		var rawSeries []plot.Series
+		csv := []string{csvLine("matrix", "family", "rows", "nnz", "footprint_mb", "mode", "gflops")}
+		for _, mach := range machines {
+			s := plot.Series{Name: mach.Mode.String()}
+			for _, pt := range points {
+				fpMB := float64(pt.Footprint) / (1 << 20)
+				s.X = append(s.X, fpMB)
+				s.Y = append(s.Y, pt.GFlops[mach.Mode])
+				csv = append(csv, csvLine(pt.Spec.Name, pt.Spec.Family.String(),
+					fmt.Sprint(pt.Rows), fmt.Sprint(pt.NNZ), f(fpMB),
+					mach.Mode.String(), f(pt.GFlops[mach.Mode])))
+			}
+			rawSeries = append(rawSeries, s)
+		}
+		b.WriteString(plot.Lines(
+			fmt.Sprintf("%s on %s: GFlop/s vs memory footprint (MB, paper scale), %d matrices",
+				kernel, platName, len(points)),
+			rawSeries, 72, 16, true))
+		b.WriteString("\n")
+		rep.CSV[fmt.Sprintf("%s_%s_raw.csv", strings.ToLower(kernel), platName)] = csv
+
+		// Speedups vs the DDR baseline.
+		var spSeries []plot.Series
+		for _, mach := range machines[1:] {
+			s := plot.Series{Name: mach.Mode.String() + "/ddr"}
+			for _, pt := range points {
+				base := pt.GFlops[memsim.ModeDDR]
+				if base <= 0 {
+					continue
+				}
+				s.X = append(s.X, float64(pt.Footprint)/(1<<20))
+				s.Y = append(s.Y, pt.GFlops[mach.Mode]/base)
+			}
+			spSeries = append(spSeries, s)
+		}
+		b.WriteString(plot.Lines(
+			fmt.Sprintf("%s on %s: speedup vs footprint (MB)", kernel, platName),
+			spSeries, 72, 12, true))
+		b.WriteString("\n")
+
+		// Structure heat map: rows × nnz binned mean throughput of the
+		// best OPM mode (Figures 9–11 bottom / 20–22).
+		opmMode := machines[len(machines)-1].Mode
+		var xs, ys, vs []float64
+		for _, pt := range points {
+			xs = append(xs, float64(pt.NNZ))
+			ys = append(ys, float64(pt.Rows))
+			vs = append(vs, pt.GFlops[opmMode])
+		}
+		grid, err := stats.BinLog2D(xs, ys, vs, 18, 10)
+		if err != nil {
+			return nil, err
+		}
+		b.WriteString(plot.Heatmap(
+			fmt.Sprintf("%s on %s (%s): mean GFlop/s by structure", kernel, platName, opmMode),
+			grid.Mean, "log10 nonzeros", "log10 rows"))
+
+		// Findings: where the best structure region sits.
+		rep.Findings = append(rep.Findings, structureFinding(kernel, platName, grid))
+		for _, mach := range machines[1:] {
+			var bases, opms []float64
+			for _, pt := range points {
+				bases = append(bases, pt.GFlops[memsim.ModeDDR])
+				opms = append(opms, pt.GFlops[mach.Mode])
+			}
+			if sum, err := stats.Summarize(kernel, bases, opms); err == nil {
+				rep.Findings = append(rep.Findings, fmt.Sprintf(
+					"%s %s vs ddr: best %.3g vs %.3g GFlop/s, avg speedup %.3fx, max %.3fx",
+					kernel, mach.Mode, sum.BestOPM, sum.BestBase, sum.AvgSpeedup, sum.MaxSpeedup))
+			}
+		}
+		rep.Text = b.String()
+		return rep, nil
+	}
+}
+
+// structureFinding locates the hottest structure-bin (the paper's
+// "peak performance region concentrates at ..." observations).
+func structureFinding(kernel, platName string, g stats.Grid2D) string {
+	bestV := math.Inf(-1)
+	bx, by := 0, 0
+	for j := range g.Mean {
+		for i := range g.Mean[j] {
+			if !math.IsNaN(g.Mean[j][i]) && g.Mean[j][i] > bestV {
+				bestV, bx, by = g.Mean[j][i], i, j
+			}
+		}
+	}
+	return fmt.Sprintf("%s %s: hottest structure bin near nnz=10^%.1f, rows=10^%.1f (%.3g GFlop/s)",
+		kernel, platName, (g.XEdges[bx]+g.XEdges[bx+1])/2, (g.YEdges[by]+g.YEdges[by+1])/2, bestV)
+}

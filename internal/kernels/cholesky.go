@@ -1,0 +1,128 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/dense"
+)
+
+// Cholesky computes the lower Cholesky factor of the symmetric
+// positive-definite matrix A in place, using the tiled right-looking
+// algorithm of Buttari et al. (the PLASMA dpotrf the paper benchmarks):
+// factor the diagonal tile (POTRF), solve the panel (TRSM), then
+// update the trailing submatrix (SYRK/GEMM) — the update tiles are
+// independent and run in parallel. The strict upper triangle is
+// zeroed on return.
+func Cholesky(a *dense.Matrix, nb, workers int) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("kernels: Cholesky needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if nb <= 0 {
+		return fmt.Errorf("kernels: Cholesky block size %d", nb)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := a.Rows
+	for k0 := 0; k0 < n; k0 += nb {
+		k1 := min(k0+nb, n)
+		// POTRF: unblocked factorization of the diagonal tile.
+		if err := potrfTile(a, k0, k1); err != nil {
+			return err
+		}
+		// TRSM: panel solve L21 = A21 * L11^-T, parallel over row bands.
+		parallelRows(k1, n, nb, workers, func(i0, i1 int) {
+			trsmPanel(a, k0, k1, i0, i1)
+		})
+		// SYRK/GEMM trailing update: A22 -= L21 * L21^T, parallel over
+		// row bands of the trailing matrix.
+		parallelRows(k1, n, nb, workers, func(i0, i1 int) {
+			for i := i0; i < i1; i++ {
+				li := a.Row(i)[k0:k1]
+				for j := k1; j <= i; j++ {
+					lj := a.Row(j)[k0:k1]
+					s := 0.0
+					for t := range li {
+						s += li[t] * lj[t]
+					}
+					a.Set(i, j, a.At(i, j)-s)
+				}
+			}
+		})
+	}
+	// Zero and mirror-clean the strict upper triangle.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a.Set(i, j, 0)
+		}
+	}
+	return nil
+}
+
+// potrfTile factors A[k0:k1, k0:k1] in place (lower, unblocked).
+func potrfTile(a *dense.Matrix, k0, k1 int) error {
+	for j := k0; j < k1; j++ {
+		d := a.At(j, j)
+		for t := k0; t < j; t++ {
+			d -= a.At(j, t) * a.At(j, t)
+		}
+		if d <= 0 {
+			return fmt.Errorf("kernels: Cholesky: not positive definite at column %d", j)
+		}
+		d = math.Sqrt(d)
+		a.Set(j, j, d)
+		for i := j + 1; i < k1; i++ {
+			v := a.At(i, j)
+			for t := k0; t < j; t++ {
+				v -= a.At(i, t) * a.At(j, t)
+			}
+			a.Set(i, j, v/d)
+		}
+	}
+	return nil
+}
+
+// trsmPanel solves rows [i0,i1) of the panel against the factored
+// diagonal tile [k0,k1).
+func trsmPanel(a *dense.Matrix, k0, k1, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		for j := k0; j < k1; j++ {
+			v := a.At(i, j)
+			for t := k0; t < j; t++ {
+				v -= a.At(i, t) * a.At(j, t)
+			}
+			a.Set(i, j, v/a.At(j, j))
+		}
+	}
+}
+
+// parallelRows runs fn over [lo,hi) split into nb-row bands across
+// workers.
+func parallelRows(lo, hi, nb, workers int, fn func(i0, i1 int)) {
+	if lo >= hi {
+		return
+	}
+	type band struct{ i0, i1 int }
+	tasks := make(chan band)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range tasks {
+				fn(b.i0, b.i1)
+			}
+		}()
+	}
+	for i0 := lo; i0 < hi; i0 += nb {
+		tasks <- band{i0, min(i0+nb, hi)}
+	}
+	close(tasks)
+	wg.Wait()
+}
+
+// CholeskyFlops returns the Table 2 operation count n³/3.
+func CholeskyFlops(n int) float64 { return float64(n) * float64(n) * float64(n) / 3 }

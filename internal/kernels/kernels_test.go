@@ -1,0 +1,442 @@
+package kernels
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+func TestGEMMMatchesReference(t *testing.T) {
+	for _, nb := range []int{1, 3, 8, 32, 100} {
+		a, b := dense.New(37, 23), dense.New(23, 41)
+		a.FillRandom(1)
+		b.FillRandom(2)
+		c := dense.New(37, 41)
+		c.FillRandom(3)
+		want := c.Clone()
+		if err := dense.GEMMRef(1.5, a, b, 0.5, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := GEMM(1.5, a, b, 0.5, c, nb, 4); err != nil {
+			t.Fatal(err)
+		}
+		if d := dense.MaxAbsDiff(want, c); d > 1e-12 {
+			t.Fatalf("nb=%d: max diff %v", nb, d)
+		}
+	}
+}
+
+func TestGEMMErrors(t *testing.T) {
+	a, b, c := dense.New(2, 3), dense.New(2, 3), dense.New(2, 3)
+	if GEMM(1, a, b, 0, c, 8, 1) == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	b2 := dense.New(3, 3)
+	c2 := dense.New(2, 3)
+	if GEMM(1, a, b2, 0, c2, 0, 1) == nil {
+		t.Fatal("zero block size accepted")
+	}
+}
+
+func TestGEMMFlops(t *testing.T) {
+	if GEMMFlops(10) != 2000 {
+		t.Fatal("GEMM flop formula wrong")
+	}
+	if CholeskyFlops(9) != 243 {
+		t.Fatal("Cholesky flop formula wrong")
+	}
+	if StreamFlops(5) != 10 || StreamBytes(5) != 160 {
+		t.Fatal("Stream formulas wrong")
+	}
+}
+
+func TestCholeskyMatchesReference(t *testing.T) {
+	for _, nb := range []int{1, 4, 16, 64} {
+		n := 45
+		a := dense.New(n, n)
+		a.FillSPD(9)
+		want := a.Clone()
+		if err := dense.CholeskyRef(want); err != nil {
+			t.Fatal(err)
+		}
+		got := a.Clone()
+		if err := Cholesky(got, nb, 4); err != nil {
+			t.Fatal(err)
+		}
+		if d := dense.MaxAbsDiff(want, got); d > 1e-10 {
+			t.Fatalf("nb=%d: max diff %v", nb, d)
+		}
+	}
+}
+
+func TestCholeskyErrors(t *testing.T) {
+	if Cholesky(dense.New(2, 3), 4, 1) == nil {
+		t.Fatal("non-square accepted")
+	}
+	if Cholesky(dense.New(4, 4), 0, 1) == nil {
+		t.Fatal("zero block accepted")
+	}
+	if Cholesky(dense.New(4, 4), 2, 1) == nil { // zero matrix not PD
+		t.Fatal("non-PD accepted")
+	}
+}
+
+func spmvRef(a *sparse.CSR, x []float64) []float64 {
+	y := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			y[i] += a.Val[p] * x[a.ColIdx[p]]
+		}
+	}
+	return y
+}
+
+func TestSpMVMatchesReference(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		a := sparse.RMAT(300, 2500, 5)
+		x := make([]float64, a.Cols)
+		rng := rand.New(rand.NewPCG(1, 2))
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		want := spmvRef(a, x)
+		y := make([]float64, a.Rows)
+		if err := SpMV(a, x, y, workers); err != nil {
+			t.Fatal(err)
+		}
+		for i := range y {
+			if math.Abs(y[i]-want[i]) > 1e-12 {
+				t.Fatalf("workers=%d: y[%d] = %v, want %v", workers, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSpMVShapeError(t *testing.T) {
+	a := sparse.Tridiag(4)
+	if SpMV(a, make([]float64, 3), make([]float64, 4), 1) == nil {
+		t.Fatal("bad x accepted")
+	}
+	if SpMV(a, make([]float64, 4), make([]float64, 3), 1) == nil {
+		t.Fatal("bad y accepted")
+	}
+}
+
+func TestNNZBalancedPartition(t *testing.T) {
+	a := sparse.Arrow(200, 16, 3) // skewed rows
+	bounds := nnzBalancedPartition(a, 4)
+	if bounds[0] != 0 || bounds[4] != a.Rows {
+		t.Fatal("partition must cover all rows")
+	}
+	total := int64(a.NNZ())
+	for w := 0; w < 4; w++ {
+		part := a.RowPtr[bounds[w+1]] - a.RowPtr[bounds[w]]
+		if part > total { // sanity
+			t.Fatal("partition larger than matrix")
+		}
+	}
+	for w := 1; w <= 4; w++ {
+		if bounds[w] < bounds[w-1] {
+			t.Fatal("bounds not monotone")
+		}
+	}
+}
+
+func TestSpTRANSMatchesSequential(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		a := sparse.RMAT(256, 3000, 11)
+		got := SpTRANS(a, workers)
+		if err := got.Validate(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		want := sparse.TransposeToCSC(a)
+		if len(got.Val) != len(want.Val) {
+			t.Fatalf("nnz mismatch %d vs %d", len(got.Val), len(want.Val))
+		}
+		for i := range want.ColPtr {
+			if got.ColPtr[i] != want.ColPtr[i] {
+				t.Fatalf("colptr[%d] = %d, want %d", i, got.ColPtr[i], want.ColPtr[i])
+			}
+		}
+		for k := range want.Val {
+			if got.RowIdx[k] != want.RowIdx[k] || got.Val[k] != want.Val[k] {
+				t.Fatalf("entry %d differs", k)
+			}
+		}
+	}
+}
+
+func TestSpTRANSEmptyAndTiny(t *testing.T) {
+	coo := &sparse.COO{Rows: 3, Cols: 3}
+	m, err := coo.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := SpTRANS(m, 4)
+	if out.NNZ() != 0 || len(out.ColPtr) != 4 {
+		t.Fatal("empty transpose wrong")
+	}
+}
+
+func TestSpTRSVSolvesSystem(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		l, err := sparse.Poisson2D(20).LowerTriangle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := l.Rows
+		// Manufactured solution.
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = float64(i%17) + 0.5
+		}
+		b := spmvRef(l, want)
+		x := make([]float64, n)
+		if err := SpTRSV(l, b, x, workers); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-9 {
+				t.Fatalf("workers=%d: x[%d] = %v, want %v", workers, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSpTRSVWideLevelsParallel(t *testing.T) {
+	// Block-diagonal lower triangle has wide levels, exercising the
+	// parallel dispatch path (>=64 rows per level).
+	l, err := sparse.BlockDiag(512, 4, 3).LowerTriangle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, l.Rows)
+	for i := range want {
+		want[i] = 1 + float64(i%7)
+	}
+	b := spmvRef(l, want)
+	x := make([]float64, l.Rows)
+	if err := SpTRSV(l, b, x, 8); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSpTRSVErrors(t *testing.T) {
+	l, _ := sparse.Tridiag(4).LowerTriangle()
+	if SpTRSV(l, make([]float64, 3), make([]float64, 4), 1) == nil {
+		t.Fatal("bad b accepted")
+	}
+	// Non-triangular input must be rejected by level building.
+	if SpTRSV(sparse.Tridiag(4), make([]float64, 4), make([]float64, 4), 1) == nil {
+		t.Fatal("non-triangular accepted")
+	}
+}
+
+func TestStreamTriad(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		n := 1000
+		x, a, b := make([]float64, n), make([]float64, n), make([]float64, n)
+		for i := range a {
+			a[i] = float64(i)
+			b[i] = 2
+		}
+		moved, err := StreamTriad(x, a, b, 3, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if moved != int64(n*24) {
+			t.Fatalf("bytes = %d, want %d", moved, n*24)
+		}
+		for i := range x {
+			if x[i] != float64(i)+6 {
+				t.Fatalf("workers=%d: x[%d] = %v", workers, i, x[i])
+			}
+		}
+	}
+}
+
+func TestStreamTriadLengthMismatch(t *testing.T) {
+	if _, err := StreamTriad(make([]float64, 2), make([]float64, 3), make([]float64, 2), 1, 1); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}
+
+func TestSparseOpFormulas(t *testing.T) {
+	a := sparse.Tridiag(100) // 298 nnz
+	if got := SpMVFlops(a); got != 298+200 {
+		t.Fatalf("SpMVFlops = %v", got)
+	}
+	if got := SpMVBytes(a); got != 12*298+20*100 {
+		t.Fatalf("SpMVBytes = %v", got)
+	}
+	if got := SpTRANSBytes(a); got != 24*298+8*100 {
+		t.Fatalf("SpTRANSBytes = %v", got)
+	}
+	want := 298 * math.Log2(298)
+	if math.Abs(SpTRANSFlops(a)-want) > 1e-9 {
+		t.Fatalf("SpTRANSFlops = %v, want %v", SpTRANSFlops(a), want)
+	}
+	l, _ := a.LowerTriangle()
+	if SpTRSVFlops(l) != float64(l.NNZ())+200 {
+		t.Fatal("SpTRSVFlops wrong")
+	}
+}
+
+// Property: GEMM with alpha=1, beta=0 against identity-permuted B is
+// consistent with the reference for random shapes and block sizes.
+func TestPropertyGEMMRandomShapes(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		m, k, n := 1+rng.IntN(24), 1+rng.IntN(24), 1+rng.IntN(24)
+		nb := 1 + rng.IntN(12)
+		a, b := dense.New(m, k), dense.New(k, n)
+		a.FillRandom(seed)
+		b.FillRandom(seed + 1)
+		c := dense.New(m, n)
+		want := dense.New(m, n)
+		if err := dense.GEMMRef(1, a, b, 0, want); err != nil {
+			return false
+		}
+		if err := GEMM(1, a, b, 0, c, nb, 2); err != nil {
+			return false
+		}
+		return dense.MaxAbsDiff(want, c) < 1e-11
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SpTRSV then SpMV round-trips b for random lower systems.
+func TestPropertySpTRSVRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 64 + int(seed%128)
+		l, err := sparse.RandomUniform(n, 5, seed).LowerTriangle()
+		if err != nil {
+			return false
+		}
+		b := make([]float64, n)
+		rng := rand.New(rand.NewPCG(seed, 9))
+		for i := range b {
+			b[i] = rng.Float64()
+		}
+		x := make([]float64, n)
+		if err := SpTRSV(l, b, x, 4); err != nil {
+			return false
+		}
+		back := spmvRef(l, x)
+		for i := range back {
+			if math.Abs(back[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transposing with SpTRANS preserves column sums as row sums.
+func TestPropertySpTRANSPreservesSums(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 50 + int(seed%100)
+		a := sparse.RandomUniform(n, 6, seed)
+		csc := SpTRANS(a, 3)
+		// Row i sum of A = "column" i sum in CSC-of-A laid out as CSR
+		// of A^T.
+		at := &sparse.CSR{Rows: csc.Cols, Cols: csc.Rows, RowPtr: csc.ColPtr, ColIdx: csc.RowIdx, Val: csc.Val}
+		for i := 0; i < n; i++ {
+			var rowSum float64
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				rowSum += a.Val[p]
+			}
+			var colSum float64
+			for j := 0; j < n; j++ {
+				colSum += at.At(j, i)
+			}
+			if math.Abs(rowSum-colSum) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGEMM(b *testing.B) {
+	n, nb := 256, 64
+	a, bm := dense.New(n, n), dense.New(n, n)
+	a.FillRandom(1)
+	bm.FillRandom(2)
+	c := dense.New(n, n)
+	b.SetBytes(int64(n) * int64(n) * 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := GEMM(1, a, bm, 0, c, nb, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(GEMMFlops(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlop/s")
+}
+
+func BenchmarkCholesky(b *testing.B) {
+	n := 256
+	src := dense.New(n, n)
+	src.FillSPD(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a := src.Clone()
+		b.StartTimer()
+		if err := Cholesky(a, 64, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(CholeskyFlops(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlop/s")
+}
+
+func BenchmarkSpTRSVLevelScheduled(b *testing.B) {
+	l, err := sparse.Poisson2D(256).LowerTriangle()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := sparse.BuildLevels(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bv := make([]float64, l.Rows)
+	x := make([]float64, l.Rows)
+	for i := range bv {
+		bv[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := SpTRSVWithSchedule(l, sched, bv, x, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamTriadReal(b *testing.B) {
+	n := 1 << 20
+	x, av, bv := make([]float64, n), make([]float64, n), make([]float64, n)
+	b.SetBytes(int64(n) * 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := StreamTriad(x, av, bv, 3, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

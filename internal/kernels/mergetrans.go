@@ -1,0 +1,126 @@
+package kernels
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/sparse"
+)
+
+// MergeTrans converts CSR to CSC with the merge-based algorithm of
+// MergeTrans (Wang et al., ICS'16) — the SpTRANS variant the paper
+// runs on KNL, chosen there because "multiple rounds of merge" use the
+// small per-tile caches better than ScanTrans's global scatter.
+//
+// Each CSR row is already a run sorted by column; rounds of pairwise
+// merges (parallel across pairs, stable so row order within a column
+// is preserved) reduce the runs to one sequence sorted by column —
+// exactly the CSC layout.
+func MergeTrans(a *sparse.CSR, workers int) *sparse.CSC {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nnz := a.NNZ()
+	out := &sparse.CSC{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		ColPtr: make([]int64, a.Cols+1),
+		RowIdx: make([]int32, nnz),
+		Val:    make([]float64, nnz),
+	}
+	if nnz == 0 {
+		return out
+	}
+
+	// Working triples: (col, row, val) flattened in CSR order. Runs
+	// are delimited by bounds (initially the row pointers, with empty
+	// runs dropped).
+	cols := make([]int32, nnz)
+	rows := make([]int32, nnz)
+	vals := make([]float64, nnz)
+	var bounds []int64
+	for i := 0; i < a.Rows; i++ {
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		if lo == hi {
+			continue
+		}
+		bounds = append(bounds, lo)
+		for p := lo; p < hi; p++ {
+			cols[p] = a.ColIdx[p]
+			rows[p] = int32(i)
+			vals[p] = a.Val[p]
+		}
+	}
+	bounds = append(bounds, int64(nnz))
+
+	// Double buffers for the merge rounds.
+	cols2 := make([]int32, nnz)
+	rows2 := make([]int32, nnz)
+	vals2 := make([]float64, nnz)
+
+	for len(bounds) > 2 {
+		pairs := (len(bounds) - 1) / 2
+		newBounds := make([]int64, 0, pairs+2)
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for p := 0; p < pairs; p++ {
+			lo, mid, hi := bounds[2*p], bounds[2*p+1], bounds[2*p+2]
+			newBounds = append(newBounds, lo)
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(lo, mid, hi int64) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				mergeRuns(cols, rows, vals, cols2, rows2, vals2, lo, mid, hi)
+			}(lo, mid, hi)
+		}
+		// A trailing unpaired run is copied through.
+		if (len(bounds)-1)%2 == 1 {
+			lo, hi := bounds[len(bounds)-2], bounds[len(bounds)-1]
+			newBounds = append(newBounds, lo)
+			copy(cols2[lo:hi], cols[lo:hi])
+			copy(rows2[lo:hi], rows[lo:hi])
+			copy(vals2[lo:hi], vals[lo:hi])
+		}
+		wg.Wait()
+		newBounds = append(newBounds, int64(nnz))
+		bounds = newBounds
+		cols, cols2 = cols2, cols
+		rows, rows2 = rows2, rows
+		vals, vals2 = vals2, vals
+	}
+
+	// One run sorted by (col, row): emit CSC.
+	for k := 0; k < nnz; k++ {
+		out.ColPtr[cols[k]+1]++
+		out.RowIdx[k] = rows[k]
+		out.Val[k] = vals[k]
+	}
+	for c := 0; c < a.Cols; c++ {
+		out.ColPtr[c+1] += out.ColPtr[c]
+	}
+	return out
+}
+
+// mergeRuns stably merges src[lo:mid) and src[mid:hi) by column into
+// dst[lo:hi). Stability keeps rows ascending within a column because
+// earlier runs hold smaller row indices.
+func mergeRuns(cols, rows []int32, vals []float64, dcols, drows []int32, dvals []float64, lo, mid, hi int64) {
+	i, j, o := lo, mid, lo
+	for i < mid && j < hi {
+		if cols[i] <= cols[j] {
+			dcols[o], drows[o], dvals[o] = cols[i], rows[i], vals[i]
+			i++
+		} else {
+			dcols[o], drows[o], dvals[o] = cols[j], rows[j], vals[j]
+			j++
+		}
+		o++
+	}
+	for ; i < mid; i, o = i+1, o+1 {
+		dcols[o], drows[o], dvals[o] = cols[i], rows[i], vals[i]
+	}
+	for ; j < hi; j, o = j+1, o+1 {
+		dcols[o], drows[o], dvals[o] = cols[j], rows[j], vals[j]
+	}
+}

@@ -1,0 +1,113 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+func TestMergeTransMatchesScanTrans(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for _, m := range []*sparse.CSR{
+			sparse.Tridiag(200),
+			sparse.RMAT(256, 3000, 13),
+			sparse.Arrow(300, 10, 4),
+			sparse.RandomUniform(150, 5, 21),
+		} {
+			got := MergeTrans(m, workers)
+			if err := got.Validate(); err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			want := sparse.TransposeToCSC(m)
+			if len(got.Val) != len(want.Val) {
+				t.Fatal("nnz mismatch")
+			}
+			for i := range want.ColPtr {
+				if got.ColPtr[i] != want.ColPtr[i] {
+					t.Fatalf("colptr[%d] = %d, want %d", i, got.ColPtr[i], want.ColPtr[i])
+				}
+			}
+			for k := range want.Val {
+				if got.RowIdx[k] != want.RowIdx[k] || got.Val[k] != want.Val[k] {
+					t.Fatalf("entry %d: (%d,%v) vs (%d,%v)",
+						k, got.RowIdx[k], got.Val[k], want.RowIdx[k], want.Val[k])
+				}
+			}
+		}
+	}
+}
+
+func TestMergeTransEdgeCases(t *testing.T) {
+	// Empty matrix.
+	empty, err := (&sparse.COO{Rows: 5, Cols: 5}).ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := MergeTrans(empty, 4)
+	if out.NNZ() != 0 || len(out.ColPtr) != 6 {
+		t.Fatal("empty transpose wrong")
+	}
+	// Single row with empty rows around it (odd run counts exercise
+	// the unpaired-run copy-through path).
+	coo := &sparse.COO{Rows: 7, Cols: 7}
+	coo.Add(3, 1, 1)
+	coo.Add(3, 4, 2)
+	coo.Add(6, 0, 3)
+	coo.Add(0, 6, 4)
+	m, err := coo.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MergeTrans(m, 2)
+	want := sparse.TransposeToCSC(m)
+	for k := range want.Val {
+		if got.RowIdx[k] != want.RowIdx[k] || got.Val[k] != want.Val[k] {
+			t.Fatalf("entry %d differs", k)
+		}
+	}
+}
+
+// Property: MergeTrans and ScanTrans agree byte-for-byte for arbitrary
+// structures and worker counts.
+func TestPropertyMergeTransEqualsScanTrans(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 40 + int(seed%200)
+		m := sparse.RandomUniform(n, 1+int(seed%7), seed)
+		got := MergeTrans(m, 1+int(seed%5))
+		want := sparse.TransposeToCSC(m)
+		if len(got.Val) != len(want.Val) {
+			return false
+		}
+		for i := range want.ColPtr {
+			if got.ColPtr[i] != want.ColPtr[i] {
+				return false
+			}
+		}
+		for k := range want.Val {
+			if got.RowIdx[k] != want.RowIdx[k] || got.Val[k] != want.Val[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScanTrans(b *testing.B) {
+	m := sparse.RMAT(1<<14, 1<<17, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SpTRANS(m, 0)
+	}
+}
+
+func BenchmarkMergeTrans(b *testing.B) {
+	m := sparse.RMAT(1<<14, 1<<17, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeTrans(m, 0)
+	}
+}

@@ -1,0 +1,126 @@
+package kernels
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/sparse"
+)
+
+// SpMV5 computes y = A·x on the CSR5 layout with the format's
+// segmented-sum algorithm: workers own tile ranges (equal nonzeros per
+// worker regardless of row-length skew — CSR5's load-balancing
+// property), accumulate lane sums, flush a row's sum at each row-break
+// flag, and resolve rows spanning worker boundaries through a carry
+// table merged serially — no atomics, as in the original.
+func SpMV5(a *sparse.CSR5, x, y []float64, workers int) error {
+	if len(x) != a.Cols || len(y) != a.Rows {
+		return fmt.Errorf("kernels: SpMV5 shape mismatch: A %dx%d, x %d, y %d",
+			a.Rows, a.Cols, len(x), len(y))
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	if a.NNZ() == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tiles := a.Tiles()
+	if workers > tiles {
+		workers = tiles
+	}
+
+	// rowOf locates the row of logical entry k via the row pointers.
+	rowOf := func(k int) int {
+		return sort.Search(a.Rows, func(i int) bool { return a.RowPtr[i+1] > int64(k) })
+	}
+
+	type carry struct {
+		headRow int     // row receiving the pre-first-break sum
+		head    float64 // that sum
+		tailRow int     // row receiving the post-last-break sum
+		tail    float64
+		hasOwn  bool // chunk contained at least one row break
+	}
+	carries := make([]carry, workers)
+	tileSz := a.TileSize()
+	chunk := (tiles + workers - 1) / workers
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		t0, t1 := w*chunk, min((w+1)*chunk, tiles)
+		if t0 >= t1 {
+			break
+		}
+		wg.Add(1)
+		go func(w, t0, t1 int) {
+			defer wg.Done()
+			start := t0 * tileSz
+			end := min(t1*tileSz, len(a.Val))
+			row := rowOf(min(start, a.NNZ()-1))
+			sum := 0.0
+			seenBreak := false
+			c := &carries[w]
+			c.headRow = row
+			for k := start; k < end; k++ {
+				phys := physIndex(a, k)
+				if a.RowBreak[phys] && k != start {
+					// Flush the finished segment.
+					if !seenBreak {
+						c.head = sum
+						seenBreak = true
+					} else {
+						y[row] += sum // interior row: exclusively ours
+					}
+					sum = 0
+					row = rowOf(k)
+				} else if a.RowBreak[phys] && k == start {
+					// The chunk begins exactly at a row start: the head
+					// segment is empty.
+					c.head = 0
+					seenBreak = true
+					row = rowOf(k)
+				}
+				sum += a.Val[phys] * x[a.ColIdx[phys]]
+			}
+			c.hasOwn = seenBreak
+			if !seenBreak {
+				// Whole chunk inside one row: everything is head carry.
+				c.head = sum
+				c.tailRow = -1
+				return
+			}
+			c.tailRow = row
+			c.tail = sum
+		}(w, t0, t1)
+	}
+	wg.Wait()
+
+	// Serial carry resolution: head partials join the previous chunk's
+	// row; tails are this chunk's last (possibly shared) row.
+	for w := range carries {
+		c := &carries[w]
+		if c.headRow >= 0 {
+			y[c.headRow] += c.head
+		}
+		if c.tailRow >= 0 {
+			y[c.tailRow] += c.tail
+		}
+	}
+	return nil
+}
+
+// physIndex maps a logical (CSR-order) padded entry index to its
+// physical position in the tile-transposed layout.
+func physIndex(a *sparse.CSR5, k int) int {
+	tileSz := a.TileSize()
+	t := k / tileSz
+	off := k % tileSz
+	lane := off / a.Sigma
+	slot := off % a.Sigma
+	return t*tileSz + slot*a.Omega + lane
+}

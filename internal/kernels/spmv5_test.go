@@ -1,0 +1,174 @@
+package kernels
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+func csr5Of(t testing.TB, m *sparse.CSR) *sparse.CSR5 {
+	t.Helper()
+	c5, err := sparse.ToCSR5(m, sparse.DefaultOmega, sparse.DefaultSigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c5
+}
+
+func TestSpMV5MatchesCSR(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, m := range []*sparse.CSR{
+			sparse.Tridiag(300),
+			sparse.RandomUniform(500, 6, 9),
+			sparse.Arrow(400, 12, 2), // extreme row skew: rows span tiles
+			sparse.RMAT(256, 4000, 7),
+		} {
+			c5 := csr5Of(t, m)
+			x := make([]float64, m.Cols)
+			rng := rand.New(rand.NewPCG(3, 4))
+			for i := range x {
+				x[i] = rng.Float64() - 0.5
+			}
+			want := spmvRef(m, x)
+			y := make([]float64, m.Rows)
+			if err := SpMV5(c5, x, y, workers); err != nil {
+				t.Fatal(err)
+			}
+			for i := range y {
+				if math.Abs(y[i]-want[i]) > 1e-10 {
+					t.Fatalf("workers=%d: y[%d] = %v, want %v", workers, i, y[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSpMV5EmptyRowsAndMatrix(t *testing.T) {
+	// Matrix with empty rows.
+	coo := &sparse.COO{Rows: 10, Cols: 10}
+	coo.Add(0, 0, 2)
+	coo.Add(5, 3, 4)
+	coo.Add(9, 9, 1)
+	m, err := coo.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c5 := csr5Of(t, m)
+	x := make([]float64, 10)
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]float64, 10)
+	if err := SpMV5(c5, x, y, 4); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 2 || y[5] != 4 || y[9] != 1 || y[1] != 0 {
+		t.Fatalf("y = %v", y)
+	}
+
+	// Fully empty matrix.
+	empty, err := (&sparse.COO{Rows: 4, Cols: 4}).ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c5e := csr5Of(t, empty)
+	ye := []float64{9, 9, 9, 9}
+	if err := SpMV5(c5e, make([]float64, 4), ye, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ye {
+		if v != 0 {
+			t.Fatal("empty SpMV must zero y")
+		}
+	}
+}
+
+func TestSpMV5ShapeErrors(t *testing.T) {
+	c5 := csr5Of(t, sparse.Tridiag(8))
+	if SpMV5(c5, make([]float64, 7), make([]float64, 8), 1) == nil {
+		t.Fatal("bad x accepted")
+	}
+	if SpMV5(c5, make([]float64, 8), make([]float64, 7), 1) == nil {
+		t.Fatal("bad y accepted")
+	}
+}
+
+// Property: SpMV5 agrees with the row-wise CSR SpMV for arbitrary
+// structures, worker counts and tile geometries — including rows far
+// longer than a tile and chunks that begin mid-row.
+func TestPropertySpMV5EquivalentToSpMV(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 11))
+		n := 64 + rng.IntN(256)
+		var m *sparse.CSR
+		switch rng.IntN(3) {
+		case 0:
+			m = sparse.RandomUniform(n, 1+rng.IntN(8), seed)
+		case 1:
+			m = sparse.Arrow(n, 4+rng.IntN(16), seed)
+		default:
+			m = sparse.Banded(n, 16, 4, seed)
+		}
+		omega := 1 + rng.IntN(6)
+		sigma := 1 + rng.IntN(24)
+		c5, err := sparse.ToCSR5(m, omega, sigma)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		want := spmvRef(m, x)
+		y := make([]float64, n)
+		if err := SpMV5(c5, x, y, 1+rng.IntN(7)); err != nil {
+			return false
+		}
+		for i := range y {
+			if math.Abs(y[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSpMVCSR(b *testing.B) {
+	m := sparse.RMAT(1<<14, 1<<17, 3)
+	x := make([]float64, m.Cols)
+	y := make([]float64, m.Rows)
+	for i := range x {
+		x[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := SpMV(m, x, y, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpMVCSR5(b *testing.B) {
+	m := sparse.RMAT(1<<14, 1<<17, 3)
+	c5, err := sparse.ToCSR5(m, sparse.DefaultOmega, sparse.DefaultSigma)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, m.Cols)
+	y := make([]float64, m.Rows)
+	for i := range x {
+		x[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := SpMV5(c5, x, y, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

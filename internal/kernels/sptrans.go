@@ -1,0 +1,110 @@
+package kernels
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/sparse"
+)
+
+// SpTRANS converts a CSR matrix to CSC (a structural transposition)
+// with the parallel two-round scan algorithm of ScanTrans (Wang et
+// al., ICS'16): each worker histograms its slice of the nonzeros into
+// a private column counter, the counters are prefix-summed into global
+// per-worker offsets, and a second scan scatters entries to their
+// final positions without atomics — exactly the "two rounds of scan
+// ... to avoid atomic writes" design the paper describes.
+func SpTRANS(a *sparse.CSR, workers int) *sparse.CSC {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nnz := a.NNZ()
+	if workers > nnz && nnz > 0 {
+		workers = nnz
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	out := &sparse.CSC{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		ColPtr: make([]int64, a.Cols+1),
+		RowIdx: make([]int32, nnz),
+		Val:    make([]float64, nnz),
+	}
+
+	// Expand row indices for slice-parallel processing (ScanTrans'
+	// csrRowIdx auxiliary array).
+	rowOf := make([]int32, nnz)
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			rowOf[p] = int32(i)
+		}
+	}
+
+	// Round 1: private histograms per worker.
+	hist := make([][]int64, workers)
+	var wg sync.WaitGroup
+	chunk := (nnz + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		hist[w] = make([]int64, a.Cols)
+		lo, hi := w*chunk, min((w+1)*chunk, nnz)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			h := hist[w]
+			for p := lo; p < hi; p++ {
+				h[a.ColIdx[p]]++
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Prefix sum: per-column totals into ColPtr, then per-worker
+	// starting offsets within each column segment.
+	offsets := make([][]int64, workers)
+	for w := range offsets {
+		offsets[w] = make([]int64, a.Cols)
+	}
+	running := int64(0)
+	for c := 0; c < a.Cols; c++ {
+		out.ColPtr[c] = running
+		for w := 0; w < workers; w++ {
+			offsets[w][c] = running
+			running += hist[w][c]
+		}
+	}
+	out.ColPtr[a.Cols] = running
+
+	// Round 2: scatter. Workers own disjoint destination slots.
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, nnz)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			off := offsets[w]
+			for p := lo; p < hi; p++ {
+				c := a.ColIdx[p]
+				dst := off[c]
+				off[c] = dst + 1
+				out.RowIdx[dst] = rowOf[p]
+				out.Val[dst] = a.Val[p]
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// SpTRANSFlops returns the Table 2 operation count nnz*log2(nnz).
+func SpTRANSFlops(a *sparse.CSR) float64 {
+	nnz := float64(a.NNZ())
+	if nnz < 2 {
+		return nnz
+	}
+	return nnz * math.Log2(nnz)
+}
+
+// SpTRANSBytes returns the Table 2 byte count 24*nnz + 8M.
+func SpTRANSBytes(a *sparse.CSR) float64 { return 24*float64(a.NNZ()) + 8*float64(a.Rows) }

@@ -1,0 +1,47 @@
+package kernels
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// StreamTriad computes x = a + alpha*b elementwise in parallel — the
+// STREAM TRIAD kernel (McCalpin) the paper uses to probe sustainable
+// bandwidth. Returns the number of bytes moved per the STREAM
+// convention (two reads + one write, 24 bytes per element; the paper's
+// Table 2 counts 32 with the write-allocate read).
+func StreamTriad(x, a, b []float64, alpha float64, workers int) (int64, error) {
+	if len(x) != len(a) || len(x) != len(b) {
+		return 0, fmt.Errorf("kernels: StreamTriad length mismatch %d/%d/%d",
+			len(x), len(a), len(b))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(x)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(x, a, b []float64) {
+			defer wg.Done()
+			for i := range x {
+				x[i] = a[i] + alpha*b[i]
+			}
+		}(x[lo:hi], a[lo:hi], b[lo:hi])
+	}
+	wg.Wait()
+	return int64(n) * 24, nil
+}
+
+// StreamFlops returns the Table 2 operation count 2n.
+func StreamFlops(n int) float64 { return 2 * float64(n) }
+
+// StreamBytes returns the Table 2 byte count 32n (write-allocate
+// accounting).
+func StreamBytes(n int) float64 { return 32 * float64(n) }

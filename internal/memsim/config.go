@@ -1,0 +1,192 @@
+// Package memsim simulates the memory hierarchies of the two
+// OPM-equipped machines studied in the paper: Broadwell with an eDRAM
+// L4 victim cache, and Knights Landing with MCDRAM in cache, flat or
+// hybrid mode. Kernel access-stream generators (internal/trace) drive a
+// Sim; the resulting per-level traffic feeds a bounded throughput model
+// (Evaluate) that is the paper's "Stepping model" made executable:
+//
+//	T = max( compute, per-level bandwidth, memory latency / MLP )
+//
+// Capacities in a Config are already scaled (see internal/platform);
+// bandwidths, latencies and compute peaks are the real machine values,
+// so simulated GFlop/s are directly comparable to the paper's.
+package memsim
+
+import "fmt"
+
+// Mode selects the memory configuration under test (Table 1 of the
+// paper).
+type Mode int
+
+const (
+	// ModeDDR disables the OPM: Broadwell with eDRAM off, or KNL
+	// preferring DDR ("w/o MCDRAM").
+	ModeDDR Mode = iota
+	// ModeEDRAM enables the Broadwell 128 MB eDRAM L4 victim cache.
+	ModeEDRAM
+	// ModeCache configures KNL MCDRAM as a direct-mapped memory-side
+	// cache in front of DDR.
+	ModeCache
+	// ModeFlat exposes KNL MCDRAM as addressable memory; allocations
+	// prefer MCDRAM (numactl -p) and spill to DDR when exhausted.
+	ModeFlat
+	// ModeHybrid splits KNL MCDRAM: half direct-mapped cache, half
+	// flat addressable memory.
+	ModeHybrid
+	// ModeEDRAMMemSide places the eDRAM behind the DRAM controller as
+	// a memory-side buffer caching all DRAM traffic — the Skylake
+	// arrangement the paper contrasts with Broadwell's CPU-side
+	// victim cache (Section 2.1).
+	ModeEDRAMMemSide
+)
+
+// String returns the label used in reports (matching the paper's
+// legends).
+func (m Mode) String() string {
+	switch m {
+	case ModeDDR:
+		return "ddr"
+	case ModeEDRAM:
+		return "edram"
+	case ModeCache:
+		return "cache"
+	case ModeFlat:
+		return "flat"
+	case ModeHybrid:
+		return "hybrid"
+	case ModeEDRAMMemSide:
+		return "edram-ms"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Source identifies where a memory request was served from. Sources
+// are ordered from nearest to farthest.
+type Source int
+
+const (
+	// SrcL1 is the small private first-level filter cache.
+	SrcL1 Source = iota
+	// SrcL2 is the private/tile second-level cache.
+	SrcL2
+	// SrcL3 is the shared on-chip LLC (Broadwell only).
+	SrcL3
+	// SrcEDRAM is the on-package eDRAM L4 victim cache (Broadwell).
+	SrcEDRAM
+	// SrcMCDRAM is on-package MCDRAM, serving either cache-mode hits
+	// or flat-mode resident data (KNL).
+	SrcMCDRAM
+	// SrcDDR is off-package DRAM.
+	SrcDDR
+	// NumSources is the number of Source values.
+	NumSources
+)
+
+// String returns the source name.
+func (s Source) String() string {
+	switch s {
+	case SrcL1:
+		return "L1"
+	case SrcL2:
+		return "L2"
+	case SrcL3:
+		return "L3"
+	case SrcEDRAM:
+		return "eDRAM"
+	case SrcMCDRAM:
+		return "MCDRAM"
+	case SrcDDR:
+		return "DDR"
+	}
+	return fmt.Sprintf("src(%d)", int(s))
+}
+
+// CacheCfg describes one cache level. A zero Size disables the level.
+type CacheCfg struct {
+	Size int64 // capacity in bytes (already scaled)
+	Ways int   // associativity; ignored for direct-mapped levels
+}
+
+// LinkParams gives the sustained bandwidth and unloaded latency of a
+// hierarchy source as seen by the cores.
+type LinkParams struct {
+	BWGBs float64 // sustained bandwidth, GB/s (aggregate)
+	LatNS float64 // unloaded access latency, ns
+}
+
+// Config fully describes a simulated machine in one memory mode.
+type Config struct {
+	Name string // e.g. "broadwell" or "knl"
+	Mode Mode
+
+	L1 CacheCfg // private filter (set-associative)
+	L2 CacheCfg // set-associative
+	L3 CacheCfg // set-associative; zero on KNL
+
+	// EDRAM is the victim L4 (Broadwell, ModeEDRAM only).
+	EDRAM CacheCfg
+	// MCDRAMBytes is the total MCDRAM capacity (KNL). In ModeCache the
+	// whole capacity is the direct-mapped cache; in ModeFlat the whole
+	// capacity is addressable; in ModeHybrid half is each.
+	MCDRAMBytes int64
+
+	// Link parameters indexed by Source. Unused sources may be zero.
+	Links [NumSources]LinkParams
+
+	// PeakDPGFlops and PeakSPGFlops are theoretical peaks.
+	PeakDPGFlops float64
+	PeakSPGFlops float64
+	// Cores and MaxThreads describe the compute resources.
+	Cores      int
+	MaxThreads int
+	// MSHRs is the total number of outstanding memory requests the
+	// chip sustains (caps memory-level parallelism).
+	MSHRs int
+	// SplitPenalty divides the effective bandwidth of both memories
+	// when a flat-mode allocation straddles MCDRAM and DDR — the
+	// paper's observed NoC/bus-conflict pathology (Section 4.2.1 II).
+	SplitPenalty float64
+	// MLPRampFactor scales how quickly memory-level parallelism
+	// (prefetch depth, outstanding misses) builds up as the working
+	// set grows past a cache capacity; used by Evaluate to produce
+	// the Stepping model's cache valleys. A working set of
+	// MLPRampFactor*C reaches full MLP after spilling a cache of
+	// capacity C.
+	MLPRampFactor float64
+	// Scale is the capacity-scaling factor applied to Size fields and
+	// problem footprints (reporting multiplies back).
+	Scale int64
+}
+
+// Validate checks internal consistency of the configuration.
+func (c *Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("memsim: config missing name")
+	}
+	if c.L2.Size <= 0 {
+		return fmt.Errorf("memsim: %s: L2 required", c.Name)
+	}
+	switch c.Mode {
+	case ModeEDRAM, ModeEDRAMMemSide:
+		if c.EDRAM.Size <= 0 {
+			return fmt.Errorf("memsim: %s: eDRAM modes need EDRAM size", c.Name)
+		}
+	case ModeCache, ModeFlat, ModeHybrid:
+		if c.MCDRAMBytes <= 0 {
+			return fmt.Errorf("memsim: %s: MCDRAM mode needs MCDRAMBytes", c.Name)
+		}
+	case ModeDDR:
+	default:
+		return fmt.Errorf("memsim: %s: unknown mode %d", c.Name, int(c.Mode))
+	}
+	if c.Links[SrcDDR].BWGBs <= 0 {
+		return fmt.Errorf("memsim: %s: DDR bandwidth required", c.Name)
+	}
+	if c.Scale <= 0 {
+		return fmt.Errorf("memsim: %s: scale must be >= 1", c.Name)
+	}
+	if c.PeakDPGFlops <= 0 {
+		return fmt.Errorf("memsim: %s: compute peak required", c.Name)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+// Package plot renders the reproduction's figures as fixed-width text:
+// heat maps (Figures 7, 8, 15, 16, 20–22), line/step charts (Figures
+// 12–14, 23–25, 6, 28–30), scatter summaries and density curves
+// (Figure 1). Output is deliberately plain ASCII so figures land in
+// terminals, logs and CSV sidecars without a plotting stack.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ramp is the intensity ramp used by heat maps, coolest first (the
+// paper's blue→red spectrum).
+const ramp = " .:-=+*#%@"
+
+// Heatmap renders a [rows][cols] value grid, row 0 at the bottom (like
+// the paper's axes). NaN cells render as spaces. Values are normalized
+// to the grid's min/max.
+func Heatmap(title string, grid [][]float64, xLabel, yLabel string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(grid) == 0 || len(grid[0]) == 0 {
+		b.WriteString("(empty)\n")
+		return b.String()
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range grid {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		b.WriteString("(all empty)\n")
+		return b.String()
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	for r := len(grid) - 1; r >= 0; r-- {
+		b.WriteString("  |")
+		for _, v := range grid[r] {
+			if math.IsNaN(v) {
+				b.WriteByte(' ')
+				continue
+			}
+			idx := int((v - lo) / span * float64(len(ramp)-1))
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "  +%s+\n", strings.Repeat("-", len(grid[0])))
+	fmt.Fprintf(&b, "  x: %s, y: %s, scale %.4g (%q) .. %.4g (%q)\n",
+		xLabel, yLabel, lo, string(ramp[0]), hi, string(ramp[len(ramp)-1]))
+	return b.String()
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// markers distinguishes overlapping series.
+const markers = "ox+*#@%&"
+
+// Lines renders series over a shared log-x axis into a height×width
+// character canvas with a legend and axis annotations.
+func Lines(title string, series []Series, width, height int, logX bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if width < 8 || height < 4 || len(series) == 0 {
+		b.WriteString("(empty)\n")
+		return b.String()
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			x := s.X[i]
+			if logX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	canvas := make([][]byte, height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			x := s.X[i]
+			if logX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			cx := int((x - minX) / (maxX - minX) * float64(width-1))
+			cy := int((s.Y[i] - minY) / (maxY - minY) * float64(height-1))
+			canvas[height-1-cy][cx] = mark
+		}
+	}
+	for r := 0; r < height; r++ {
+		yv := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%10.3g |%s\n", yv, string(canvas[r]))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	if logX {
+		fmt.Fprintf(&b, "%10s  x: 10^%.2f .. 10^%.2f (log)\n", "", minX, maxX)
+	} else {
+		fmt.Fprintf(&b, "%10s  x: %.4g .. %.4g\n", "", minX, maxX)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "%10s  %c %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// Bars renders a simple horizontal bar chart (the power figures).
+func Bars(title string, labels []string, values []float64, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(labels) != len(values) || len(labels) == 0 {
+		b.WriteString("(empty)\n")
+		return b.String()
+	}
+	maxV := math.Inf(-1)
+	maxL := 0
+	for i, v := range values {
+		maxV = math.Max(maxV, v)
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	for i, v := range values {
+		n := int(v / maxV * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "  %-*s |%s %.4g\n", maxL, labels[i], strings.Repeat("#", n), v)
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeatmapRendersGradient(t *testing.T) {
+	grid := [][]float64{
+		{0, 1, 2, 3},
+		{4, 5, 6, 7},
+	}
+	out := Heatmap("test", grid, "x", "y")
+	if !strings.Contains(out, "test") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(out, "\n")
+	// Row 1 (higher values) renders above row 0 and with denser chars.
+	if !strings.Contains(lines[1], "@") {
+		t.Fatalf("top row should contain the max glyph: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], " ") {
+		t.Fatalf("bottom row should contain the min glyph: %q", lines[2])
+	}
+	if !strings.Contains(out, "scale 0") {
+		t.Fatal("missing scale annotation")
+	}
+}
+
+func TestHeatmapHandlesNaNAndEmpty(t *testing.T) {
+	out := Heatmap("t", [][]float64{{math.NaN(), 1}}, "x", "y")
+	if !strings.Contains(out, "|") {
+		t.Fatal("should render")
+	}
+	if !strings.Contains(Heatmap("t", nil, "x", "y"), "(empty)") {
+		t.Fatal("nil grid should say empty")
+	}
+	if !strings.Contains(Heatmap("t", [][]float64{{math.NaN()}}, "x", "y"), "(all empty)") {
+		t.Fatal("all-NaN grid should say all empty")
+	}
+}
+
+func TestLinesBasic(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{1, 10, 100}, Y: []float64{1, 2, 3}},
+		{Name: "b", X: []float64{1, 10, 100}, Y: []float64{3, 2, 1}},
+	}
+	out := Lines("chart", s, 40, 10, true)
+	if !strings.Contains(out, "chart") || !strings.Contains(out, "o a") || !strings.Contains(out, "x b") {
+		t.Fatalf("missing legend: %s", out)
+	}
+	if !strings.Contains(out, "log") {
+		t.Fatal("missing log axis note")
+	}
+	outLin := Lines("chart", s, 40, 10, false)
+	if strings.Contains(outLin, "log") {
+		t.Fatal("linear axis should not claim log")
+	}
+}
+
+func TestLinesDegenerate(t *testing.T) {
+	if !strings.Contains(Lines("t", nil, 40, 10, false), "(empty)") {
+		t.Fatal("no series should be empty")
+	}
+	if !strings.Contains(Lines("t", []Series{{Name: "a"}}, 40, 10, false), "(no data)") {
+		t.Fatal("empty series should say no data")
+	}
+	// Non-positive x under log scale is skipped, not fatal.
+	s := []Series{{Name: "a", X: []float64{-1, 10}, Y: []float64{1, 2}}}
+	out := Lines("t", s, 40, 8, true)
+	if !strings.Contains(out, "o a") {
+		t.Fatal("should still render the positive point")
+	}
+	// Single point: degenerate ranges handled.
+	one := []Series{{Name: "a", X: []float64{5}, Y: []float64{7}}}
+	if !strings.Contains(Lines("t", one, 20, 5, false), "o a") {
+		t.Fatal("single point should render")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("power", []string{"GEMM", "SpMV"}, []float64{60, 30}, 20)
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "GEMM") || !strings.Contains(lines[1], strings.Repeat("#", 20)) {
+		t.Fatalf("max bar should be full width: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], strings.Repeat("#", 10)) {
+		t.Fatalf("half bar should be half width: %q", lines[2])
+	}
+	if !strings.Contains(Bars("t", []string{"a"}, nil, 10), "(empty)") {
+		t.Fatal("mismatch should be empty")
+	}
+}

@@ -1,0 +1,149 @@
+// Package power provides the RAPL-like analytic power/energy model
+// standing in for the paper's RAPL+PAPI measurements (Section 5.2,
+// Figures 26–27): package and DRAM power are first-order linear in
+// activity (flops and per-level byte traffic), with static floors.
+// Constants are calibrated to the paper's reported aggregates: eDRAM
+// adds 5.6 W (+8.6%) on average on Broadwell, MCDRAM flat mode adds
+// 9.8 W (+6.9%) on KNL, and MCDRAM sometimes *reduces* DDR power by
+// cutting DDR traffic.
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+)
+
+// Model holds the linear power coefficients for one platform.
+type Model struct {
+	Platform string
+	// PkgStatic is the idle package power (cores, uncore, fabric), W.
+	PkgStatic float64
+	// PerGFlop is package power per achieved GFlop/s, W/(GFlop/s).
+	PerGFlop float64
+	// PerGBOnChip is package power per GB/s of on-chip cache traffic.
+	PerGBOnChip float64
+	// PerGBOPM is package power per GB/s of OPM traffic (eDRAM sits
+	// on-package so its power bills to the package domain; so does
+	// MCDRAM on KNL).
+	PerGBOPM float64
+	// OPMStatic is the standby power the OPM draws whenever it cannot
+	// be disabled (MCDRAM; eDRAM switched off in BIOS draws zero).
+	OPMStatic float64
+	// DRAMStatic and PerGBDRAM model the separate DRAM RAPL domain.
+	DRAMStatic float64
+	PerGBDRAM  float64
+}
+
+// Broadwell returns the calibrated Broadwell model (65 W TDP part).
+func Broadwell() Model {
+	return Model{
+		Platform:    "broadwell",
+		PkgStatic:   48,
+		PerGFlop:    0.08,
+		PerGBOnChip: 0.03,
+		PerGBOPM:    0.10,
+		OPMStatic:   0, // eDRAM physically off in BIOS
+		DRAMStatic:  1.5,
+		PerGBDRAM:   0.18,
+	}
+}
+
+// KNL returns the calibrated Knights Landing model (215 W TDP part).
+func KNL() Model {
+	return Model{
+		Platform:    "knl",
+		PkgStatic:   78,
+		PerGFlop:    0.055,
+		PerGBOnChip: 0.015,
+		PerGBOPM:    0.028,
+		OPMStatic:   2.5, // MCDRAM cannot be powered off
+		DRAMStatic:  6,
+		PerGBDRAM:   0.10,
+	}
+}
+
+// Skylake returns the model for the Skylake extension platform (45 W
+// mobile-class part with the same eDRAM as Broadwell).
+func Skylake() Model {
+	m := Broadwell()
+	m.Platform = "skylake"
+	m.PkgStatic = 44
+	return m
+}
+
+// ForPlatform returns the model for a platform name.
+func ForPlatform(name string) (Model, error) {
+	switch name {
+	case "broadwell":
+		return Broadwell(), nil
+	case "knl":
+		return KNL(), nil
+	case "skylake":
+		return Skylake(), nil
+	}
+	return Model{}, fmt.Errorf("power: no model for platform %q", name)
+}
+
+// Sample is one power reading, split like RAPL's PKG and DRAM domains.
+type Sample struct {
+	PkgW  float64
+	DRAMW float64
+}
+
+// Total returns PkgW + DRAMW.
+func (s Sample) Total() float64 { return s.PkgW + s.DRAMW }
+
+// Estimate computes the average power draw of a simulated run.
+func (m Model) Estimate(res memsim.Result) Sample {
+	sec := res.Seconds
+	if sec <= 0 {
+		return Sample{PkgW: m.PkgStatic + m.OPMStatic, DRAMW: m.DRAMStatic}
+	}
+	gbs := func(src memsim.Source) float64 {
+		return float64(res.Traffic.Bytes[src]+res.Traffic.WBBytes[src]) / sec / 1e9
+	}
+	onChip := gbs(memsim.SrcL2) + gbs(memsim.SrcL3)
+	opm := gbs(memsim.SrcEDRAM) + gbs(memsim.SrcMCDRAM)
+	ddr := gbs(memsim.SrcDDR)
+	return Sample{
+		PkgW:  m.PkgStatic + m.OPMStatic + m.PerGFlop*res.GFlops + m.PerGBOnChip*onChip + m.PerGBOPM*opm,
+		DRAMW: m.DRAMStatic + m.PerGBDRAM*ddr,
+	}
+}
+
+// EnergyJ returns the total energy of a run in joules.
+func (m Model) EnergyJ(res memsim.Result) float64 {
+	return m.Estimate(res).Total() * res.Seconds
+}
+
+// BreakEvenGain implements Eq. 1 of the paper: with an average power
+// increase of W (fractional, e.g. 0.086 for eDRAM), the OPM saves
+// energy only when the performance gain P satisfies
+//
+//	(1/(1+P)) · (1+W) < 1  ⟺  P > W.
+//
+// It returns the minimum fractional speedup that saves energy.
+func BreakEvenGain(powerIncrease float64) float64 { return powerIncrease }
+
+// SavesEnergy reports whether a performance gain P under a power
+// increase W is a net energy win (Eq. 1).
+func SavesEnergy(perfGain, powerIncrease float64) bool {
+	if perfGain <= -1 {
+		return false
+	}
+	return (1+powerIncrease)/(1+perfGain) < 1
+}
+
+// EnergyDelayProduct returns E·T^w, the generalized metric mentioned
+// alongside Eq. 1 (w=0 pure energy, w=1 classic EDP, w=2 ED²P).
+func EnergyDelayProduct(energyJ, seconds float64, w float64) float64 {
+	if w == 0 {
+		return energyJ
+	}
+	out := energyJ
+	for i := 0; i < int(w); i++ {
+		out *= seconds
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/memsim"
+)
+
+func fakeResult(seconds, gflops float64, opmGBs, ddrGBs float64) memsim.Result {
+	var tr memsim.Traffic
+	tr.Bytes[memsim.SrcEDRAM] = uint64(opmGBs * seconds * 1e9)
+	tr.Bytes[memsim.SrcDDR] = uint64(ddrGBs * seconds * 1e9)
+	return memsim.Result{Seconds: seconds, GFlops: gflops, Traffic: tr}
+}
+
+func TestForPlatform(t *testing.T) {
+	for _, name := range []string{"broadwell", "knl"} {
+		m, err := ForPlatform(name)
+		if err != nil || m.Platform != name {
+			t.Fatalf("ForPlatform(%s) = %+v, %v", name, m, err)
+		}
+	}
+	if _, err := ForPlatform("epyc"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestEstimateScalesWithActivity(t *testing.T) {
+	m := Broadwell()
+	idle := m.Estimate(fakeResult(1, 0, 0, 0))
+	busy := m.Estimate(fakeResult(1, 200, 40, 20))
+	if busy.PkgW <= idle.PkgW {
+		t.Fatal("package power must grow with activity")
+	}
+	if busy.DRAMW <= idle.DRAMW {
+		t.Fatal("DRAM power must grow with DDR traffic")
+	}
+	if idle.PkgW != m.PkgStatic {
+		t.Fatalf("idle pkg = %v, want static %v", idle.PkgW, m.PkgStatic)
+	}
+}
+
+func TestEstimateZeroSecondsFallsBackToStatic(t *testing.T) {
+	m := KNL()
+	s := m.Estimate(memsim.Result{})
+	if s.PkgW != m.PkgStatic+m.OPMStatic || s.DRAMW != m.DRAMStatic {
+		t.Fatalf("zero-run sample = %+v", s)
+	}
+}
+
+func TestBroadwellEDRAMDeltaNearPaper(t *testing.T) {
+	// The paper reports eDRAM adds ~5.6 W (+8.6%) on average. A
+	// representative mid-intensity kernel: 50 GFlop/s, with 50 GB/s of
+	// traffic moving from DDR (w/o) to eDRAM (w/).
+	m := Broadwell()
+	without := m.Estimate(fakeResult(1, 50, 0, 18))
+	with := m.Estimate(fakeResult(1, 55, 45, 5))
+	delta := with.PkgW - without.PkgW
+	if delta < 2 || delta > 9 {
+		t.Fatalf("eDRAM package delta = %v W, want ~5.6", delta)
+	}
+	rel := delta / without.PkgW
+	if rel < 0.04 || rel > 0.16 {
+		t.Fatalf("eDRAM relative delta = %v, want ~0.086", rel)
+	}
+}
+
+func TestKNLMCDRAMReducesDDRPower(t *testing.T) {
+	// Figure 27: using MCDRAM sometimes reduces DDR power (traffic
+	// moves on package).
+	m := KNL()
+	ddrOnly := m.Estimate(fakeResultKNL(1, 400, 0, 80))
+	flat := m.Estimate(fakeResultKNL(1, 420, 400, 5))
+	if flat.DRAMW >= ddrOnly.DRAMW {
+		t.Fatal("MCDRAM should reduce DDR power")
+	}
+	if flat.PkgW <= ddrOnly.PkgW {
+		t.Fatal("MCDRAM traffic should raise package power")
+	}
+}
+
+func fakeResultKNL(seconds, gflops, mcGBs, ddrGBs float64) memsim.Result {
+	var tr memsim.Traffic
+	tr.Bytes[memsim.SrcMCDRAM] = uint64(mcGBs * seconds * 1e9)
+	tr.Bytes[memsim.SrcDDR] = uint64(ddrGBs * seconds * 1e9)
+	return memsim.Result{Seconds: seconds, GFlops: gflops, Traffic: tr}
+}
+
+func TestEnergyJ(t *testing.T) {
+	m := Broadwell()
+	r := fakeResult(2, 100, 0, 10)
+	e := m.EnergyJ(r)
+	if math.Abs(e-m.Estimate(r).Total()*2) > 1e-9 {
+		t.Fatal("EnergyJ must be power * time")
+	}
+}
+
+func TestEq1BreakEven(t *testing.T) {
+	// Eq. 1: energy saved iff perf gain > power increase.
+	if BreakEvenGain(0.086) != 0.086 {
+		t.Fatal("break-even gain should equal the power increase")
+	}
+	if !SavesEnergy(0.10, 0.086) {
+		t.Fatal("10% gain at 8.6% power should save energy")
+	}
+	if SavesEnergy(0.05, 0.086) {
+		t.Fatal("5% gain at 8.6% power should not save energy")
+	}
+	if SavesEnergy(0.086, 0.086) {
+		t.Fatal("exact break-even is not a saving")
+	}
+	if SavesEnergy(-1.5, 0.01) {
+		t.Fatal("degenerate gain accepted")
+	}
+}
+
+func TestEnergyDelayProduct(t *testing.T) {
+	if EnergyDelayProduct(10, 2, 0) != 10 {
+		t.Fatal("w=0 should be pure energy")
+	}
+	if EnergyDelayProduct(10, 2, 1) != 20 {
+		t.Fatal("w=1 EDP wrong")
+	}
+	if EnergyDelayProduct(10, 2, 2) != 40 {
+		t.Fatal("w=2 ED2P wrong")
+	}
+}

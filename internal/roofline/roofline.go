@@ -1,0 +1,184 @@
+// Package roofline implements the classic roofline model (Williams et
+// al.) used by the paper's Figure 5, plus the Table 2 kernel
+// characteristics (operation counts, byte counts, arithmetic
+// intensity) that place each kernel on the spectrum of Figure 4.
+package roofline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/platform"
+)
+
+// Characteristics describes one kernel row of Table 2.
+type Characteristics struct {
+	Algorithm  string
+	Dwarf      string
+	Class      string // Dense, Sparse, Others
+	Complexity string
+	// Ops and Bytes are the Table 2 formulas evaluated on a Problem.
+	Ops   func(p Problem) float64
+	Bytes func(p Problem) float64
+}
+
+// Problem carries the symbolic parameters of Table 2: matrix order n,
+// nonzeros nnz, and row count M.
+type Problem struct {
+	N   float64
+	NNZ float64
+	M   float64
+}
+
+// DefaultProblem is the instantiation used by Figure 5's kernel
+// placements: n = 1024, nnz = 1024, M = 32.
+var DefaultProblem = Problem{N: 1024, NNZ: 1024, M: 32}
+
+// AI returns the arithmetic intensity Ops/Bytes.
+func (c Characteristics) AI(p Problem) float64 {
+	b := c.Bytes(p)
+	if b == 0 {
+		return 0
+	}
+	return c.Ops(p) / b
+}
+
+// Table2 returns the eight kernel rows in the paper's order.
+func Table2() []Characteristics {
+	return []Characteristics{
+		{
+			Algorithm: "GEMM", Dwarf: "Dense Linear Algebra", Class: "Dense", Complexity: "O(n^3)",
+			Ops:   func(p Problem) float64 { return 2 * p.N * p.N * p.N },
+			Bytes: func(p Problem) float64 { return 32 * p.N * p.N },
+		},
+		{
+			Algorithm: "Cholesky", Dwarf: "Dense Linear Algebra", Class: "Dense", Complexity: "O(n^3)",
+			Ops:   func(p Problem) float64 { return p.N * p.N * p.N / 3 },
+			Bytes: func(p Problem) float64 { return 8 * p.N * p.N },
+		},
+		{
+			Algorithm: "SpMV", Dwarf: "Sparse Linear Algebra", Class: "Sparse", Complexity: "O(nnz)",
+			Ops:   func(p Problem) float64 { return p.NNZ + 2*p.M },
+			Bytes: func(p Problem) float64 { return 12*p.NNZ + 20*p.M },
+		},
+		{
+			Algorithm: "SpTRANS", Dwarf: "Sparse Linear Algebra", Class: "Sparse", Complexity: "O(nnz log nnz)",
+			Ops:   func(p Problem) float64 { return p.NNZ * math.Log2(math.Max(2, p.NNZ)) },
+			Bytes: func(p Problem) float64 { return 24*p.NNZ + 8*p.M },
+		},
+		{
+			Algorithm: "SpTRSV", Dwarf: "Sparse Linear Algebra", Class: "Sparse", Complexity: "O(nnz)",
+			Ops:   func(p Problem) float64 { return p.NNZ + 2*p.M },
+			Bytes: func(p Problem) float64 { return 12*p.NNZ + 20*p.M },
+		},
+		{
+			Algorithm: "FFT", Dwarf: "Spectral Methods", Class: "Others", Complexity: "O(n log n)",
+			Ops:   func(p Problem) float64 { return 5 * p.N * math.Log2(math.Max(2, p.N)) },
+			Bytes: func(p Problem) float64 { return 48 * p.N },
+		},
+		{
+			Algorithm: "Stencil", Dwarf: "Structured Grid", Class: "Others", Complexity: "O(n^2)",
+			Ops:   func(p Problem) float64 { return 61 * p.N * p.N },
+			Bytes: func(p Problem) float64 { return 8 * p.N * p.N },
+		},
+		{
+			Algorithm: "Stream", Dwarf: "N/A", Class: "Others", Complexity: "O(1)",
+			Ops:   func(p Problem) float64 { return 2 * p.N },
+			Bytes: func(p Problem) float64 { return 32 * p.N },
+		},
+	}
+}
+
+// Ceiling is one roofline bound.
+type Ceiling struct {
+	Name string
+	// GFlops for compute ceilings; GBs for bandwidth ceilings (one of
+	// the two is zero).
+	GFlops float64
+	GBs    float64
+}
+
+// Model is the roofline of one platform (Figure 5, one panel).
+type Model struct {
+	Platform string
+	Ceilings []Ceiling
+}
+
+// New builds the roofline for a platform: DP and SP compute ceilings,
+// plus DRAM and OPM bandwidth ceilings (spec-sheet values, as in the
+// paper's figure).
+func New(p *platform.Platform) Model {
+	return Model{
+		Platform: p.Name,
+		Ceilings: []Ceiling{
+			{Name: "DP peak", GFlops: p.DPGFlops},
+			{Name: "SP peak", GFlops: p.SPGFlops},
+			{Name: p.DRAMKind, GBs: p.DRAMGBs},
+			{Name: p.OPMKind, GBs: p.OPMGBs},
+		},
+	}
+}
+
+// Attainable returns the attainable DP GFlop/s at arithmetic intensity
+// ai under the given bandwidth ceiling: min(peakDP, ai·bw).
+func (m Model) Attainable(ai, bwGBs float64) float64 {
+	peak := 0.0
+	for _, c := range m.Ceilings {
+		if c.Name == "DP peak" {
+			peak = c.GFlops
+		}
+	}
+	return math.Min(peak, ai*bwGBs)
+}
+
+// Ridge returns the arithmetic intensity where the bandwidth ceiling
+// meets the DP compute ceiling — the roofline ridge point.
+func (m Model) Ridge(bwGBs float64) float64 {
+	peak := 0.0
+	for _, c := range m.Ceilings {
+		if c.Name == "DP peak" {
+			peak = c.GFlops
+		}
+	}
+	if bwGBs <= 0 {
+		return math.Inf(1)
+	}
+	return peak / bwGBs
+}
+
+// Point is a kernel placed on the roofline.
+type Point struct {
+	Kernel        string
+	AI            float64
+	WithOPMGFlops float64
+	DRAMGFlops    float64
+}
+
+// Points places the Table 2 kernels (at DefaultProblem) on the
+// platform's roofline, with and without the OPM bandwidth ceiling.
+func Points(p *platform.Platform) []Point {
+	m := New(p)
+	out := make([]Point, 0, 8)
+	for _, c := range Table2() {
+		ai := c.AI(DefaultProblem)
+		out = append(out, Point{
+			Kernel:        c.Algorithm,
+			AI:            ai,
+			WithOPMGFlops: m.Attainable(ai, p.OPMGBs),
+			DRAMGFlops:    m.Attainable(ai, p.DRAMGBs),
+		})
+	}
+	return out
+}
+
+// FormatTable2 renders the Table 2 characteristics for a problem as
+// aligned text rows.
+func FormatTable2(p Problem) []string {
+	rows := []string{fmt.Sprintf("%-9s %-22s %-6s %-15s %14s %14s %12s",
+		"Algorithm", "Dwarf", "Class", "Complexity", "Operations", "Bytes", "AI")}
+	for _, c := range Table2() {
+		rows = append(rows, fmt.Sprintf("%-9s %-22s %-6s %-15s %14.4g %14.4g %12.6g",
+			c.Algorithm, c.Dwarf, c.Class, c.Complexity, c.Ops(p), c.Bytes(p), c.AI(p)))
+	}
+	return rows
+}

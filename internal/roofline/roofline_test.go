@@ -1,0 +1,126 @@
+package roofline
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestTable2Formulas(t *testing.T) {
+	p := Problem{N: 1024, NNZ: 1024, M: 32}
+	byName := map[string]Characteristics{}
+	for _, c := range Table2() {
+		byName[c.Algorithm] = c
+	}
+	if len(byName) != 8 {
+		t.Fatalf("Table 2 has %d kernels, want 8", len(byName))
+	}
+	// GEMM: 2n^3 ops, 32n^2 bytes, AI = n/16.
+	g := byName["GEMM"]
+	if g.Ops(p) != 2*1024*1024*1024 {
+		t.Error("GEMM ops wrong")
+	}
+	if ai := g.AI(p); math.Abs(ai-1024.0/16) > 1e-12 {
+		t.Errorf("GEMM AI = %v, want n/16 = 64", ai)
+	}
+	// Cholesky: AI = n/24.
+	if ai := byName["Cholesky"].AI(p); math.Abs(ai-1024.0/24) > 1e-12 {
+		t.Errorf("Cholesky AI = %v, want n/24", ai)
+	}
+	// SpMV: (nnz+2M)/(12nnz+20M).
+	want := (1024.0 + 64) / (12*1024.0 + 640)
+	if ai := byName["SpMV"].AI(p); math.Abs(ai-want) > 1e-12 {
+		t.Errorf("SpMV AI = %v, want %v", ai, want)
+	}
+	// SpTRSV same AI as SpMV.
+	if byName["SpTRSV"].AI(p) != byName["SpMV"].AI(p) {
+		t.Error("SpTRSV AI should equal SpMV AI")
+	}
+	// FFT: 5 log2 n / 48.
+	if ai := byName["FFT"].AI(p); math.Abs(ai-5*10.0/48) > 1e-12 {
+		t.Errorf("FFT AI = %v, want 5*log2(1024)/48", ai)
+	}
+	// Stencil: 61/8 = 7.625 exactly as in Table 2.
+	if ai := byName["Stencil"].AI(p); ai != 7.625 {
+		t.Errorf("Stencil AI = %v, want 7.625", ai)
+	}
+	// Stream: 2/32 = 0.0625.
+	if ai := byName["Stream"].AI(p); ai != 0.0625 {
+		t.Errorf("Stream AI = %v, want 0.0625", ai)
+	}
+}
+
+func TestAISpectrumOrdering(t *testing.T) {
+	// Figure 4: Stream < SpTRANS/SpMV/SpTRSV < FFT < Stencil < Cholesky < GEMM.
+	p := DefaultProblem
+	ai := map[string]float64{}
+	for _, c := range Table2() {
+		ai[c.Algorithm] = c.AI(p)
+	}
+	if !(ai["Stream"] < ai["SpMV"] && ai["SpMV"] < ai["FFT"] &&
+		ai["FFT"] < ai["Stencil"] && ai["Stencil"] < ai["Cholesky"] &&
+		ai["Cholesky"] < ai["GEMM"]) {
+		t.Fatalf("AI spectrum out of order: %v", ai)
+	}
+}
+
+func TestRooflineAttainable(t *testing.T) {
+	m := New(platform.Broadwell())
+	// Memory bound region: tiny AI.
+	if got := m.Attainable(0.0625, 34.1); math.Abs(got-0.0625*34.1) > 1e-9 {
+		t.Errorf("attainable = %v", got)
+	}
+	// Compute bound region: huge AI caps at DP peak.
+	if got := m.Attainable(1000, 34.1); got != 236.8 {
+		t.Errorf("attainable = %v, want DP peak", got)
+	}
+	// Ridge point moves left with higher bandwidth — the OPM effect in
+	// Figure 5.
+	if m.Ridge(102.4) >= m.Ridge(34.1) {
+		t.Error("OPM must move the ridge point left")
+	}
+}
+
+func TestPointsBothPlatforms(t *testing.T) {
+	for _, p := range platform.All() {
+		pts := Points(p)
+		if len(pts) != 8 {
+			t.Fatalf("%s: %d points", p.Name, len(pts))
+		}
+		for _, pt := range pts {
+			if pt.WithOPMGFlops < pt.DRAMGFlops {
+				t.Errorf("%s/%s: OPM ceiling below DRAM ceiling", p.Name, pt.Kernel)
+			}
+			if pt.WithOPMGFlops <= 0 {
+				t.Errorf("%s/%s: non-positive attainable", p.Name, pt.Kernel)
+			}
+		}
+	}
+}
+
+func TestStreamGainsFullOPMRatio(t *testing.T) {
+	// Memory-bound kernels gain the full bandwidth ratio from the OPM
+	// ceiling: eDRAM/DDR3 = 102.4/34.1 ≈ 3.0.
+	pts := Points(platform.Broadwell())
+	for _, pt := range pts {
+		if pt.Kernel != "Stream" {
+			continue
+		}
+		ratio := pt.WithOPMGFlops / pt.DRAMGFlops
+		if math.Abs(ratio-102.4/34.1) > 1e-9 {
+			t.Fatalf("Stream OPM gain = %v, want %v", ratio, 102.4/34.1)
+		}
+	}
+}
+
+func TestFormatTable2(t *testing.T) {
+	rows := FormatTable2(DefaultProblem)
+	if len(rows) != 9 {
+		t.Fatalf("got %d rows, want header + 8", len(rows))
+	}
+	if !strings.Contains(rows[1], "GEMM") || !strings.Contains(rows[8], "Stream") {
+		t.Fatal("rows out of order")
+	}
+}

@@ -1,0 +1,147 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// CollectionSize is the number of matrices in the synthetic suite,
+// matching the paper's 968 square UF matrices with nnz > 200,000.
+const CollectionSize = 968
+
+// Spec describes one matrix of the synthetic collection at paper
+// scale. Instantiate builds the (capacity-scaled) CSR matrix.
+type Spec struct {
+	ID             int
+	Name           string
+	Family         Family
+	PaperFootprint int64 // CSR+vector footprint target, bytes, paper scale
+	RowNNZ         int   // target average row length
+	Seed           uint64
+}
+
+// collection footprint envelope: the paper's figures span memory
+// footprints from a few MB to ~8 GB (Figs 9–11 and 17–19 axes).
+const (
+	minPaperFootprint = int64(4) << 20
+	maxPaperFootprint = int64(8) << 30
+)
+
+// Collection returns the full 968-matrix synthetic suite. Specs are
+// deterministic: the same ID always produces the same matrix. Families
+// round-robin and footprints follow a low-discrepancy log-uniform
+// spread over the envelope, so every (family, size) region of the
+// paper's scatter plots is populated.
+func Collection() []Spec {
+	specs := make([]Spec, CollectionSize)
+	logMin := math.Log(float64(minPaperFootprint))
+	logMax := math.Log(float64(maxPaperFootprint))
+	const phi = 0.6180339887498949 // golden-ratio low-discrepancy step
+	rowNNZChoices := []int{4, 6, 8, 12, 16, 24, 32, 48}
+	for i := range specs {
+		u := math.Mod(float64(i)*phi, 1)
+		fp := int64(math.Exp(logMin + u*(logMax-logMin)))
+		fam := Family(i % int(NumFamilies))
+		specs[i] = Spec{
+			ID:             i,
+			Family:         fam,
+			PaperFootprint: fp,
+			RowNNZ:         rowNNZChoices[(i/int(NumFamilies))%len(rowNNZChoices)],
+			Seed:           uint64(i)*0x9e3779b97f4a7c15 + 1,
+		}
+		specs[i].Name = fmt.Sprintf("%s-%04d", fam, i)
+	}
+	return specs
+}
+
+// Subsample returns every stride-th spec — the default quick suite for
+// benchmarks (the full 968-matrix sweep is behind the CLI -full flag).
+func Subsample(specs []Spec, stride int) []Spec {
+	if stride <= 1 {
+		return specs
+	}
+	out := make([]Spec, 0, (len(specs)+stride-1)/stride)
+	for i := 0; i < len(specs); i += stride {
+		out = append(out, specs[i])
+	}
+	return out
+}
+
+// FilterMaxFootprint drops specs whose paper-scale footprint exceeds
+// the limit (Broadwell sweeps stop near 1 GB in the paper's figures).
+func FilterMaxFootprint(specs []Spec, limit int64) []Spec {
+	out := make([]Spec, 0, len(specs))
+	for _, sp := range specs {
+		if sp.PaperFootprint <= limit {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Instantiate builds the matrix at 1/scale of its paper footprint.
+// The returned matrix is square with sorted, deduplicated rows.
+func (sp Spec) Instantiate(scale int64) *CSR {
+	if scale < 1 {
+		scale = 1
+	}
+	target := sp.PaperFootprint / scale
+	if target < 16<<10 {
+		target = 16 << 10
+	}
+	r := sp.RowNNZ
+	if r < 3 {
+		r = 3
+	}
+	// Footprint model: 12 bytes/entry + 20 bytes/row (ptr + vectors).
+	n := int(target / int64(12*r+20))
+	if n < 64 {
+		n = 64
+	}
+	switch sp.Family {
+	case FamBanded:
+		return Banded(n, 4*r, r, sp.Seed)
+	case FamRandomUniform:
+		return RandomUniform(n, r, sp.Seed)
+	case FamRMAT:
+		return RMAT(n, n*(r-1), sp.Seed)
+	case FamBlockDiag:
+		block := r
+		if block < 2 {
+			block = 2
+		}
+		// Dense blocks of size b give b entries/row; resize n for the
+		// same footprint.
+		return BlockDiag(n, block, sp.Seed)
+	case FamPoisson2D:
+		k := int(math.Sqrt(float64(target) / (12*5 + 20)))
+		if k < 8 {
+			k = 8
+		}
+		return Poisson2D(k)
+	case FamPoisson3D:
+		k := int(math.Cbrt(float64(target) / (12*7 + 20)))
+		if k < 4 {
+			k = 4
+		}
+		return Poisson3D(k)
+	case FamTridiag:
+		nt := int(target / 56)
+		if nt < 64 {
+			nt = 64
+		}
+		return Tridiag(nt)
+	case FamArrow:
+		width := r / 2
+		if width < 2 {
+			width = 2
+		}
+		// Arrow rows hold ~2*width entries beyond the diagonal.
+		na := int(target / int64(12*(2*width+1)+20))
+		if na < 64 {
+			na = 64
+		}
+		return Arrow(na, width, sp.Seed)
+	}
+	panic(fmt.Sprintf("sparse: unknown family %d", int(sp.Family)))
+}

@@ -1,0 +1,179 @@
+package sparse
+
+import "fmt"
+
+// CSR5 is a simplified but faithful implementation of the CSR5 storage
+// format (Liu & Vinter, ICS'15) — the SpMV implementation the paper
+// benchmarks. Nonzeros are partitioned into fixed-size 2D tiles of
+// Sigma×Omega entries stored tile-column-major (the SIMD-friendly
+// transposed layout), with per-tile descriptors:
+//
+//   - TileRowStart: the row of the tile's first nonzero;
+//   - RowBreak bit flags marking entries that begin a new row, which
+//     drive the segmented-sum SpMV without atomics;
+//   - Dirty flag for tiles containing at least one row break.
+//
+// Rows may span tile boundaries; CSR5SpMV resolves the carries. Empty
+// rows are handled by consulting the original RowPtr.
+type CSR5 struct {
+	Rows, Cols int
+	// Tile geometry: Omega SIMD lanes × Sigma entries per lane.
+	Omega, Sigma int
+
+	RowPtr []int64 // original CSR row pointers (for empty rows)
+	// Val and ColIdx hold nnz entries padded to a tile multiple,
+	// transposed within each tile: entry (lane, slot) of tile t lives
+	// at t*Omega*Sigma + slot*Omega + lane. Padding entries carry
+	// value 0 and repeat the last column index.
+	Val    []float64
+	ColIdx []int32
+	// RowBreak[k] is true when padded entry k starts a new row.
+	RowBreak []bool
+	// TileRowStart[t] is the row containing tile t's first entry.
+	TileRowStart []int32
+	// TileDirty[t] is true when the tile contains a row break.
+	TileDirty []bool
+
+	nnz int // unpadded entry count
+}
+
+// DefaultOmega and DefaultSigma follow the CSR5 paper's CPU defaults
+// (4 SIMD lanes of 16 entries).
+const (
+	DefaultOmega = 4
+	DefaultSigma = 16
+)
+
+// NNZ returns the unpadded nonzero count.
+func (m *CSR5) NNZ() int { return m.nnz }
+
+// Tiles returns the tile count.
+func (m *CSR5) Tiles() int { return len(m.TileRowStart) }
+
+// TileSize returns entries per tile.
+func (m *CSR5) TileSize() int { return m.Omega * m.Sigma }
+
+// ToCSR5 converts a CSR matrix into CSR5 layout.
+func ToCSR5(a *CSR, omega, sigma int) (*CSR5, error) {
+	if omega < 1 || sigma < 1 {
+		return nil, fmt.Errorf("sparse: CSR5 tile geometry %dx%d invalid", omega, sigma)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("sparse: ToCSR5: %w", err)
+	}
+	nnz := a.NNZ()
+	tileSz := omega * sigma
+	tiles := (nnz + tileSz - 1) / tileSz
+	if tiles == 0 {
+		tiles = 0
+	}
+	padded := tiles * tileSz
+	m := &CSR5{
+		Rows: a.Rows, Cols: a.Cols,
+		Omega: omega, Sigma: sigma,
+		RowPtr:       append([]int64(nil), a.RowPtr...),
+		Val:          make([]float64, padded),
+		ColIdx:       make([]int32, padded),
+		RowBreak:     make([]bool, padded),
+		TileRowStart: make([]int32, tiles),
+		TileDirty:    make([]bool, tiles),
+		nnz:          nnz,
+	}
+
+	// rowOf[k] for each original entry, and break flags in CSR order.
+	rowOf := make([]int32, nnz)
+	breaks := make([]bool, nnz)
+	for i := 0; i < a.Rows; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			rowOf[p] = int32(i)
+			breaks[p] = p == a.RowPtr[i]
+		}
+	}
+
+	for t := 0; t < tiles; t++ {
+		base := t * tileSz
+		if base < nnz {
+			m.TileRowStart[t] = rowOf[base]
+		} else if nnz > 0 {
+			m.TileRowStart[t] = rowOf[nnz-1]
+		}
+		for slot := 0; slot < sigma; slot++ {
+			for lane := 0; lane < omega; lane++ {
+				// Transposed layout: lanes advance fastest in storage,
+				// but logical CSR order advances lane-major through
+				// the tile (lane column holds sigma consecutive
+				// entries).
+				logical := base + lane*sigma + slot
+				phys := base + slot*omega + lane
+				if logical < nnz {
+					m.Val[phys] = a.Val[logical]
+					m.ColIdx[phys] = a.ColIdx[logical]
+					m.RowBreak[phys] = breaks[logical]
+					if breaks[logical] {
+						m.TileDirty[t] = true
+					}
+				} else if logical > 0 {
+					// Padding: zero value, repeat last column.
+					m.Val[phys] = 0
+					m.ColIdx[phys] = a.ColIdx[nnz-1]
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// logicalEntry returns the k-th entry (CSR order) of the padded
+// stream: its physical index in the transposed layout.
+func (m *CSR5) logicalToPhysical(k int) int {
+	tileSz := m.Omega * m.Sigma
+	t := k / tileSz
+	off := k % tileSz
+	lane := off / m.Sigma
+	slot := off % m.Sigma
+	return t*tileSz + slot*m.Omega + lane
+}
+
+// Validate checks structural invariants of the CSR5 layout.
+func (m *CSR5) Validate() error {
+	tileSz := m.Omega * m.Sigma
+	if tileSz <= 0 {
+		return fmt.Errorf("sparse: CSR5 bad tile geometry")
+	}
+	if len(m.Val) != len(m.ColIdx) || len(m.Val) != len(m.RowBreak) {
+		return fmt.Errorf("sparse: CSR5 ragged arrays")
+	}
+	if len(m.Val)%tileSz != 0 {
+		return fmt.Errorf("sparse: CSR5 padding not tile aligned")
+	}
+	if len(m.Val)/tileSz != len(m.TileRowStart) || len(m.TileRowStart) != len(m.TileDirty) {
+		return fmt.Errorf("sparse: CSR5 descriptor count mismatch")
+	}
+	if m.nnz > len(m.Val) {
+		return fmt.Errorf("sparse: CSR5 nnz exceeds storage")
+	}
+	for k := 0; k < m.nnz; k++ {
+		c := m.ColIdx[m.logicalToPhysical(k)]
+		if c < 0 || int(c) >= m.Cols {
+			return fmt.Errorf("sparse: CSR5 column %d out of range at %d", c, k)
+		}
+	}
+	return nil
+}
+
+// ToCSR reconstructs the CSR matrix (for round-trip validation).
+func (m *CSR5) ToCSR() *CSR {
+	out := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: append([]int64(nil), m.RowPtr...),
+		ColIdx: make([]int32, m.nnz),
+		Val:    make([]float64, m.nnz),
+	}
+	for k := 0; k < m.nnz; k++ {
+		phys := m.logicalToPhysical(k)
+		out.ColIdx[k] = m.ColIdx[phys]
+		out.Val[k] = m.Val[phys]
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package sparse
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestToCSR5RoundTrip(t *testing.T) {
+	for _, m := range []*CSR{
+		Tridiag(100),
+		RandomUniform(257, 7, 3), // non-multiple of tile size
+		RMAT(128, 900, 5),
+		Poisson2D(17),
+	} {
+		c5, err := ToCSR5(m, DefaultOmega, DefaultSigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c5.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if c5.NNZ() != m.NNZ() {
+			t.Fatalf("nnz %d vs %d", c5.NNZ(), m.NNZ())
+		}
+		back := c5.ToCSR()
+		if !equalCSR(m, back) {
+			t.Fatal("CSR5 round trip changed the matrix")
+		}
+	}
+}
+
+func TestToCSR5Geometry(t *testing.T) {
+	m := Tridiag(50) // 148 nnz
+	c5, err := ToCSR5(m, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c5.TileSize() != 64 {
+		t.Fatal("tile size")
+	}
+	if c5.Tiles() != 3 { // ceil(148/64)
+		t.Fatalf("tiles = %d, want 3", c5.Tiles())
+	}
+	if len(c5.Val) != 192 {
+		t.Fatalf("padded storage = %d, want 192", len(c5.Val))
+	}
+	// First tile starts at row 0.
+	if c5.TileRowStart[0] != 0 {
+		t.Fatal("tile 0 row start")
+	}
+	if !c5.TileDirty[0] {
+		t.Fatal("tile 0 must contain row breaks (rows shorter than tile)")
+	}
+}
+
+func TestToCSR5Errors(t *testing.T) {
+	m := Tridiag(10)
+	if _, err := ToCSR5(m, 0, 16); err == nil {
+		t.Fatal("zero omega accepted")
+	}
+	bad := m.Clone()
+	bad.ColIdx[0] = 99
+	if _, err := ToCSR5(bad, 4, 16); err == nil {
+		t.Fatal("invalid CSR accepted")
+	}
+}
+
+func TestCSR5ValidateCatchesCorruption(t *testing.T) {
+	c5, _ := ToCSR5(Tridiag(64), 4, 16)
+	bad := *c5
+	bad.ColIdx = append([]int32(nil), c5.ColIdx...)
+	bad.ColIdx[0] = 1000
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+	bad2 := *c5
+	bad2.TileDirty = bad2.TileDirty[:len(bad2.TileDirty)-1]
+	if bad2.Validate() == nil {
+		t.Fatal("descriptor mismatch accepted")
+	}
+}
+
+// Property: CSR5 round trips for arbitrary structures and geometries.
+func TestPropertyCSR5RoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		n := 32 + rng.IntN(256)
+		m := RandomUniform(n, 1+rng.IntN(9), seed)
+		omega := 1 + rng.IntN(8)
+		sigma := 1 + rng.IntN(32)
+		c5, err := ToCSR5(m, omega, sigma)
+		if err != nil {
+			return false
+		}
+		if c5.Validate() != nil {
+			return false
+		}
+		return equalCSR(m, c5.ToCSR())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,215 @@
+package sparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFamilyString(t *testing.T) {
+	for f := Family(0); f < NumFamilies; f++ {
+		if s := f.String(); s == "" || strings.Contains(s, "family(") {
+			t.Errorf("family %d has no name", int(f))
+		}
+	}
+	if !strings.Contains(Family(99).String(), "99") {
+		t.Error("unknown family should render its number")
+	}
+}
+
+func TestGeneratorsProduceValidSquareMatrices(t *testing.T) {
+	gens := map[string]*CSR{
+		"banded":    Banded(300, 32, 8, 1),
+		"random":    RandomUniform(300, 8, 2),
+		"rmat":      RMAT(256, 2000, 3),
+		"blockdiag": BlockDiag(300, 10, 4),
+		"poisson2d": Poisson2D(20),
+		"poisson3d": Poisson3D(8),
+		"tridiag":   Tridiag(300),
+		"arrow":     Arrow(300, 8, 5),
+	}
+	for name, m := range gens {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: invalid: %v", name, err)
+		}
+		if m.Rows != m.Cols {
+			t.Errorf("%s: not square (%dx%d)", name, m.Rows, m.Cols)
+		}
+		if m.NNZ() < m.Rows {
+			t.Errorf("%s: too sparse (%d nnz, %d rows)", name, m.NNZ(), m.Rows)
+		}
+	}
+}
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	a := RandomUniform(200, 8, 123)
+	b := RandomUniform(200, 8, 123)
+	if !equalCSR(a, b) {
+		t.Fatal("same seed must reproduce the same matrix")
+	}
+	c := RandomUniform(200, 8, 124)
+	if equalCSR(a, c) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestBandedRespectsBandwidth(t *testing.T) {
+	m := Banded(500, 40, 10, 9)
+	mt := Measure(m)
+	if mt.Bandwidth > 20 {
+		t.Fatalf("banded matrix bandwidth %d exceeds half-band 20", mt.Bandwidth)
+	}
+}
+
+func TestPoisson2DStructure(t *testing.T) {
+	k := 10
+	m := Poisson2D(k)
+	if m.Rows != k*k {
+		t.Fatalf("rows = %d, want %d", m.Rows, k*k)
+	}
+	// Interior point has 5 entries; corner has 3.
+	if got := m.RowNNZ(k + 1); got != 5 {
+		t.Errorf("interior row nnz = %d, want 5", got)
+	}
+	if got := m.RowNNZ(0); got != 3 {
+		t.Errorf("corner row nnz = %d, want 3", got)
+	}
+	// Row sums: diagonal 4 minus neighbours.
+	if m.At(0, 0) != 4 || m.At(0, 1) != -1 || m.At(0, k) != -1 {
+		t.Error("poisson2d stencil coefficients wrong")
+	}
+}
+
+func TestPoisson3DStructure(t *testing.T) {
+	k := 6
+	m := Poisson3D(k)
+	if m.Rows != k*k*k {
+		t.Fatalf("rows = %d, want %d", m.Rows, k*k*k)
+	}
+	center := (k/2*k+k/2)*k + k/2
+	if got := m.RowNNZ(center); got != 7 {
+		t.Errorf("interior row nnz = %d, want 7", got)
+	}
+}
+
+func TestArrowStructure(t *testing.T) {
+	m := Arrow(100, 4, 11)
+	// Rows beyond the head hold width + diagonal entries.
+	if got := m.RowNNZ(50); got != 5 {
+		t.Errorf("arrow row nnz = %d, want 5", got)
+	}
+	mt := Measure(m)
+	if mt.MaxRowNNZ < 90 {
+		t.Errorf("arrow head rows should be dense, max row nnz = %d", mt.MaxRowNNZ)
+	}
+}
+
+func TestMeasureMetrics(t *testing.T) {
+	m := Tridiag(10)
+	mt := Measure(m)
+	if mt.Rows != 10 || mt.NNZ != 28 {
+		t.Fatalf("metrics rows/nnz = %d/%d", mt.Rows, mt.NNZ)
+	}
+	if mt.Bandwidth != 1 {
+		t.Fatalf("tridiag bandwidth = %d, want 1", mt.Bandwidth)
+	}
+	if mt.MaxRowNNZ != 3 {
+		t.Fatalf("max row nnz = %d, want 3", mt.MaxRowNNZ)
+	}
+	if mt.AvgRowNNZ != 2.8 {
+		t.Fatalf("avg row nnz = %v, want 2.8", mt.AvgRowNNZ)
+	}
+	if mt.DiagDominance != 0 { // 2 = 1+1 not strictly dominant except ends
+		// ends have |2| > |-1|: 2 of 10 rows dominant
+		t.Logf("diag dominance = %v", mt.DiagDominance)
+	}
+}
+
+func TestCollectionProperties(t *testing.T) {
+	specs := Collection()
+	if len(specs) != CollectionSize {
+		t.Fatalf("collection size = %d, want %d", len(specs), CollectionSize)
+	}
+	famSeen := map[Family]int{}
+	for i, sp := range specs {
+		if sp.ID != i {
+			t.Fatalf("spec %d has ID %d", i, sp.ID)
+		}
+		if sp.PaperFootprint < minPaperFootprint || sp.PaperFootprint > maxPaperFootprint {
+			t.Fatalf("spec %d footprint %d outside envelope", i, sp.PaperFootprint)
+		}
+		famSeen[sp.Family]++
+	}
+	if len(famSeen) != int(NumFamilies) {
+		t.Fatalf("only %d families present", len(famSeen))
+	}
+}
+
+func TestCollectionInstantiateScalesFootprint(t *testing.T) {
+	specs := Collection()
+	sp := specs[0]
+	m64 := sp.Instantiate(64)
+	m128 := sp.Instantiate(128)
+	if err := m64.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f64, f128 := m64.FootprintBytes(), m128.FootprintBytes()
+	ratio := float64(f64) / float64(f128)
+	if ratio < 1.5 || ratio > 3 {
+		t.Fatalf("scale 64 vs 128 footprint ratio = %v, want ~2", ratio)
+	}
+	// Footprint should be within 2x of target.
+	target := sp.PaperFootprint / 64
+	if f64 < target/2 || f64 > target*2 {
+		t.Fatalf("instantiated footprint %d vs target %d", f64, target)
+	}
+}
+
+func TestCollectionInstantiateDeterministic(t *testing.T) {
+	sp := Collection()[17]
+	a := sp.Instantiate(64)
+	b := sp.Instantiate(64)
+	if !equalCSR(a, b) {
+		t.Fatal("instantiation must be deterministic")
+	}
+}
+
+func TestCollectionAllFamiliesInstantiate(t *testing.T) {
+	specs := Collection()
+	seen := map[Family]bool{}
+	for _, sp := range specs {
+		if seen[sp.Family] {
+			continue
+		}
+		seen[sp.Family] = true
+		m := sp.Instantiate(256) // small for test speed
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		if m.Rows != m.Cols {
+			t.Fatalf("%s: not square", sp.Name)
+		}
+		if len(seen) == int(NumFamilies) {
+			break
+		}
+	}
+}
+
+func TestSubsampleAndFilter(t *testing.T) {
+	specs := Collection()
+	sub := Subsample(specs, 8)
+	if len(sub) != 121 {
+		t.Fatalf("subsample len = %d, want 121", len(sub))
+	}
+	if Subsample(specs, 1)[5].ID != 5 {
+		t.Fatal("stride 1 should return all")
+	}
+	filtered := FilterMaxFootprint(specs, 1<<30)
+	for _, sp := range filtered {
+		if sp.PaperFootprint > 1<<30 {
+			t.Fatal("filter leaked a large spec")
+		}
+	}
+	if len(filtered) == 0 || len(filtered) == len(specs) {
+		t.Fatalf("filter should drop some, keep some: %d of %d", len(filtered), len(specs))
+	}
+}

@@ -1,0 +1,98 @@
+package sparse
+
+import "fmt"
+
+// LevelSchedule is the dependency levelization of a lower-triangular
+// system used by synchronization-sparsifying SpTRSV solvers (SpMP,
+// Park et al. — the implementation the paper benchmarks): rows in the
+// same level have no dependencies among themselves and can be solved
+// in parallel; levels execute in order.
+type LevelSchedule struct {
+	// Order lists row indices grouped by level, innermost first.
+	Order []int32
+	// Ptr delimits levels within Order (len = Levels+1).
+	Ptr []int64
+}
+
+// Levels returns the number of dependency levels.
+func (s *LevelSchedule) Levels() int { return len(s.Ptr) - 1 }
+
+// Rows returns the total number of scheduled rows.
+func (s *LevelSchedule) Rows() int { return len(s.Order) }
+
+// AvgParallelism returns rows/levels — the average number of rows
+// solvable concurrently, the quantity that throttles SpTRSV's
+// memory-level parallelism in the timing model.
+func (s *LevelSchedule) AvgParallelism() float64 {
+	if s.Levels() == 0 {
+		return 0
+	}
+	return float64(s.Rows()) / float64(s.Levels())
+}
+
+// MaxWidth returns the widest level.
+func (s *LevelSchedule) MaxWidth() int {
+	w := 0
+	for l := 0; l < s.Levels(); l++ {
+		if n := int(s.Ptr[l+1] - s.Ptr[l]); n > w {
+			w = n
+		}
+	}
+	return w
+}
+
+// BuildLevels computes the level schedule of a lower-triangular CSR
+// matrix: level(i) = 1 + max(level(j)) over strictly-lower entries
+// (i, j). The matrix must be square with a full diagonal (as produced
+// by CSR.LowerTriangle).
+func BuildLevels(l *CSR) (*LevelSchedule, error) {
+	if l.Rows != l.Cols {
+		return nil, fmt.Errorf("sparse: BuildLevels needs square matrix, got %dx%d", l.Rows, l.Cols)
+	}
+	n := l.Rows
+	level := make([]int32, n)
+	maxLevel := int32(0)
+	for i := 0; i < n; i++ {
+		lv := int32(0)
+		diag := false
+		for p := l.RowPtr[i]; p < l.RowPtr[i+1]; p++ {
+			c := l.ColIdx[p]
+			switch {
+			case int(c) < i:
+				if dep := level[c] + 1; dep > lv {
+					lv = dep
+				}
+			case int(c) == i:
+				diag = true
+			default:
+				return nil, fmt.Errorf("sparse: BuildLevels: upper entry (%d,%d)", i, c)
+			}
+		}
+		if !diag {
+			return nil, fmt.Errorf("sparse: BuildLevels: missing diagonal in row %d", i)
+		}
+		level[i] = lv
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	// Counting sort rows by level.
+	s := &LevelSchedule{
+		Order: make([]int32, n),
+		Ptr:   make([]int64, maxLevel+2),
+	}
+	for _, lv := range level {
+		s.Ptr[lv+1]++
+	}
+	for l := int32(0); l <= maxLevel; l++ {
+		s.Ptr[l+1] += s.Ptr[l]
+	}
+	cursor := make([]int64, maxLevel+1)
+	copy(cursor, s.Ptr[:maxLevel+1])
+	for i := 0; i < n; i++ {
+		lv := level[i]
+		s.Order[cursor[lv]] = int32(i)
+		cursor[lv]++
+	}
+	return s, nil
+}

@@ -1,0 +1,388 @@
+package sparse
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestCOOToCSRBasic(t *testing.T) {
+	coo := &COO{Rows: 3, Cols: 3}
+	coo.Add(0, 1, 2)
+	coo.Add(2, 0, 5)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 2, 3)
+	m, err := coo.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 4 {
+		t.Fatalf("nnz = %d, want 4", m.NNZ())
+	}
+	if got := m.At(0, 0); got != 1 {
+		t.Errorf("At(0,0) = %v", got)
+	}
+	if got := m.At(0, 1); got != 2 {
+		t.Errorf("At(0,1) = %v", got)
+	}
+	if got := m.At(1, 2); got != 3 {
+		t.Errorf("At(1,2) = %v", got)
+	}
+	if got := m.At(2, 0); got != 5 {
+		t.Errorf("At(2,0) = %v", got)
+	}
+	if got := m.At(2, 2); got != 0 {
+		t.Errorf("At(2,2) = %v, want 0 (absent)", got)
+	}
+}
+
+func TestCOOToCSRSumsDuplicates(t *testing.T) {
+	coo := &COO{Rows: 2, Cols: 2}
+	coo.Add(0, 0, 1)
+	coo.Add(0, 0, 2.5)
+	coo.Add(1, 1, 1)
+	m, err := coo.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2 after dedup", m.NNZ())
+	}
+	if got := m.At(0, 0); got != 3.5 {
+		t.Fatalf("At(0,0) = %v, want 3.5", got)
+	}
+}
+
+func TestCOOValidateRejectsBadEntries(t *testing.T) {
+	coo := &COO{Rows: 2, Cols: 2}
+	coo.Add(0, 5, 1)
+	if _, err := coo.ToCSR(); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+	coo2 := &COO{Rows: 2, Cols: 2, RowIdx: []int32{0}, ColIdx: []int32{0, 1}, Val: []float64{1, 2}}
+	if coo2.Validate() == nil {
+		t.Fatal("ragged arrays accepted")
+	}
+	coo3 := &COO{Rows: -1, Cols: 2}
+	if coo3.Validate() == nil {
+		t.Fatal("negative dims accepted")
+	}
+}
+
+func TestCSRValidateCatchesCorruption(t *testing.T) {
+	m := Tridiag(8)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := m.Clone()
+	bad.RowPtr[3] = bad.RowPtr[4] + 1
+	if bad.Validate() == nil {
+		t.Error("non-monotone rowptr accepted")
+	}
+	bad = m.Clone()
+	bad.ColIdx[0] = 100
+	if bad.Validate() == nil {
+		t.Error("out-of-range column accepted")
+	}
+	bad = m.Clone()
+	bad.RowPtr[0] = 1
+	if bad.Validate() == nil {
+		t.Error("nonzero rowptr[0] accepted")
+	}
+}
+
+func TestCSRFootprintFormula(t *testing.T) {
+	m := Tridiag(100)
+	// Table 2 accounting: 12*nnz + 4*(rows+1) + 16*rows.
+	want := int64(m.NNZ())*12 + 101*4 + 100*16
+	if got := m.FootprintBytes(); got != want {
+		t.Fatalf("footprint = %d, want %d", got, want)
+	}
+}
+
+func TestTransposeSmall(t *testing.T) {
+	coo := &COO{Rows: 2, Cols: 3}
+	coo.Add(0, 0, 1)
+	coo.Add(0, 2, 2)
+	coo.Add(1, 1, 3)
+	m, _ := coo.ToCSR()
+	tr := Transpose(m)
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose dims %dx%d", tr.Rows, tr.Cols)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.At(0, 0) != 1 || tr.At(2, 0) != 2 || tr.At(1, 1) != 3 {
+		t.Fatal("transpose entries wrong")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	m := RandomUniform(200, 8, 42)
+	tt := Transpose(Transpose(m))
+	if !equalCSR(m, tt) {
+		t.Fatal("transpose twice should be identity")
+	}
+}
+
+func TestTransposeToCSCRoundTrip(t *testing.T) {
+	m := RMAT(128, 1024, 7)
+	csc := TransposeToCSC(m)
+	if err := csc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	back := csc.ToCSR()
+	if !equalCSR(m, back) {
+		t.Fatal("CSR->CSC->CSR round trip changed the matrix")
+	}
+}
+
+func TestLowerTriangle(t *testing.T) {
+	m := RandomUniform(64, 6, 3)
+	l, err := m.LowerTriangle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < l.Rows; i++ {
+		hasDiag := false
+		for p := l.RowPtr[i]; p < l.RowPtr[i+1]; p++ {
+			if int(l.ColIdx[p]) > i {
+				t.Fatalf("upper entry (%d,%d) in lower triangle", i, l.ColIdx[p])
+			}
+			if int(l.ColIdx[p]) == i {
+				hasDiag = true
+				if l.Val[p] == 0 {
+					t.Fatalf("zero diagonal at row %d", i)
+				}
+			}
+		}
+		if !hasDiag {
+			t.Fatalf("missing diagonal at row %d", i)
+		}
+	}
+}
+
+func TestLowerTriangleRejectsNonSquare(t *testing.T) {
+	coo := &COO{Rows: 2, Cols: 3}
+	coo.Add(0, 0, 1)
+	m, _ := coo.ToCSR()
+	if _, err := m.LowerTriangle(); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestSegmentedSort(t *testing.T) {
+	ptr := []int64{0, 3, 3, 7}
+	keys := []int32{5, 1, 3, 9, 2, 8, 0}
+	vals := []float64{50, 10, 30, 90, 20, 80, 0}
+	SegmentedSort(ptr, keys, vals)
+	wantK := []int32{1, 3, 5, 0, 2, 8, 9}
+	wantV := []float64{10, 30, 50, 0, 20, 80, 90}
+	for i := range keys {
+		if keys[i] != wantK[i] || vals[i] != wantV[i] {
+			t.Fatalf("segment sort wrong at %d: got (%d,%v) want (%d,%v)",
+				i, keys[i], vals[i], wantK[i], wantV[i])
+		}
+	}
+}
+
+func TestSegmentedSortLongSegment(t *testing.T) {
+	n := 1000
+	ptr := []int64{0, int64(n)}
+	keys := make([]int32, n)
+	vals := make([]float64, n)
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := range keys {
+		keys[i] = int32(rng.IntN(1 << 20))
+		vals[i] = float64(keys[i]) * 2
+	}
+	SegmentedSort(ptr, keys, vals)
+	for i := 1; i < n; i++ {
+		if keys[i] < keys[i-1] {
+			t.Fatal("long segment not sorted")
+		}
+		if vals[i] != float64(keys[i])*2 {
+			t.Fatal("values not permuted with keys")
+		}
+	}
+}
+
+func TestBuildLevelsTridiag(t *testing.T) {
+	// Lower triangle of tridiag is bidiagonal: a pure chain, so every
+	// row is its own level.
+	l, err := Tridiag(16).LowerTriangle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildLevels(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Levels() != 16 {
+		t.Fatalf("levels = %d, want 16 (chain)", s.Levels())
+	}
+	if s.AvgParallelism() != 1 {
+		t.Fatalf("avg parallelism = %v, want 1", s.AvgParallelism())
+	}
+}
+
+func TestBuildLevelsDiagonal(t *testing.T) {
+	// A diagonal matrix has a single level with full parallelism.
+	coo := &COO{Rows: 8, Cols: 8}
+	for i := 0; i < 8; i++ {
+		coo.Add(i, i, 1)
+	}
+	m, _ := coo.ToCSR()
+	s, err := BuildLevels(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Levels() != 1 || s.MaxWidth() != 8 {
+		t.Fatalf("levels=%d width=%d, want 1, 8", s.Levels(), s.MaxWidth())
+	}
+}
+
+func TestBuildLevelsRespectsDependencies(t *testing.T) {
+	l, err := Poisson2D(12).LowerTriangle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildLevels(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every dependency (i, j), j<i must have level(j) < level(i).
+	level := make([]int, l.Rows)
+	for lv := 0; lv < s.Levels(); lv++ {
+		for p := s.Ptr[lv]; p < s.Ptr[lv+1]; p++ {
+			level[s.Order[p]] = lv
+		}
+	}
+	for i := 0; i < l.Rows; i++ {
+		for p := l.RowPtr[i]; p < l.RowPtr[i+1]; p++ {
+			if j := int(l.ColIdx[p]); j < i && level[j] >= level[i] {
+				t.Fatalf("dependency violated: level(%d)=%d >= level(%d)=%d",
+					j, level[j], i, level[i])
+			}
+		}
+	}
+	if s.Rows() != l.Rows {
+		t.Fatalf("scheduled %d rows, want %d", s.Rows(), l.Rows)
+	}
+}
+
+func TestBuildLevelsRejectsUpperEntries(t *testing.T) {
+	m := Tridiag(4) // has upper entries
+	if _, err := BuildLevels(m); err == nil {
+		t.Fatal("upper entries accepted")
+	}
+}
+
+func equalCSR(a, b *CSR) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for k := range a.Val {
+		if a.ColIdx[k] != b.ColIdx[k] || math.Abs(a.Val[k]-b.Val[k]) > 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: transpose preserves every entry (checked via At on random
+// coordinates) and the total NNZ.
+func TestPropertyTransposePreservesEntries(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 50 + int(seed%100)
+		m := RandomUniform(n, 5, seed)
+		tr := Transpose(m)
+		if tr.NNZ() != m.NNZ() {
+			return false
+		}
+		rng := rand.New(rand.NewPCG(seed, 3))
+		for k := 0; k < 50; k++ {
+			i, j := rng.IntN(n), rng.IntN(n)
+			if m.At(i, j) != tr.At(j, i) {
+				return false
+			}
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: level schedules are complete permutations of the rows.
+func TestPropertyLevelScheduleIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 64 + int(seed%64)
+		l, err := RandomUniform(n, 4, seed).LowerTriangle()
+		if err != nil {
+			return false
+		}
+		s, err := BuildLevels(l)
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, r := range s.Order {
+			if seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		for _, ok := range seen {
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	m := RMAT(1<<14, 1<<17, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Transpose(m)
+	}
+}
+
+func BenchmarkBuildLevels(b *testing.B) {
+	l, err := Poisson2D(256).LowerTriangle()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildLevels(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCollectionInstantiate(b *testing.B) {
+	sp := Collection()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Instantiate(256)
+	}
+}

@@ -1,0 +1,50 @@
+package sparse
+
+import "sort"
+
+// SegmentedSort sorts keys (and reorders vals identically) within each
+// segment delimited by ptr, the preprocessing the paper applies to all
+// 968 matrices ("rows ... ordered by using the segmented sort"). Short
+// segments — the common case in sparse rows — use insertion sort;
+// longer segments fall back to sort.Sort on a paired view.
+func SegmentedSort(ptr []int64, keys []int32, vals []float64) {
+	const insertionCutoff = 32
+	for s := 0; s+1 < len(ptr); s++ {
+		lo, hi := ptr[s], ptr[s+1]
+		n := hi - lo
+		if n < 2 {
+			continue
+		}
+		k := keys[lo:hi]
+		v := vals[lo:hi]
+		if n <= insertionCutoff {
+			insertionSortPair(k, v)
+			continue
+		}
+		sort.Sort(&pairView{k, v})
+	}
+}
+
+func insertionSortPair(k []int32, v []float64) {
+	for i := 1; i < len(k); i++ {
+		ki, vi := k[i], v[i]
+		j := i - 1
+		for j >= 0 && k[j] > ki {
+			k[j+1], v[j+1] = k[j], v[j]
+			j--
+		}
+		k[j+1], v[j+1] = ki, vi
+	}
+}
+
+type pairView struct {
+	k []int32
+	v []float64
+}
+
+func (p *pairView) Len() int           { return len(p.k) }
+func (p *pairView) Less(i, j int) bool { return p.k[i] < p.k[j] }
+func (p *pairView) Swap(i, j int) {
+	p.k[i], p.k[j] = p.k[j], p.k[i]
+	p.v[i], p.v[j] = p.v[j], p.v[i]
+}

@@ -1,0 +1,48 @@
+package sparse
+
+// Transpose computes Aᵀ in CSR form using the two-round scan algorithm
+// of ScanTrans (Wang et al., ICS'16 — the SpTRANS implementation the
+// paper benchmarks on Broadwell): a histogram round counting entries
+// per output row, a prefix-sum round producing the output row
+// pointers, and a scatter round placing each entry. The scatter writes
+// are the random-access pattern that makes SpTRANS memory bound.
+func Transpose(m *CSR) *CSR {
+	t := &CSR{
+		Rows:   m.Cols,
+		Cols:   m.Rows,
+		RowPtr: make([]int64, m.Cols+1),
+		ColIdx: make([]int32, m.NNZ()),
+		Val:    make([]float64, m.NNZ()),
+	}
+	// Round 1: histogram of destination rows (= source columns).
+	for _, c := range m.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	// Round 2: exclusive prefix sum.
+	for i := 0; i < m.Cols; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	// Round 3: scatter. Because source rows are visited in order, the
+	// row indices written into each destination segment are already
+	// increasing — no per-segment sort needed afterwards.
+	cursor := make([]int64, m.Cols)
+	copy(cursor, t.RowPtr[:m.Cols])
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			c := m.ColIdx[p]
+			dst := cursor[c]
+			t.ColIdx[dst] = int32(i)
+			t.Val[dst] = m.Val[p]
+			cursor[c] = dst + 1
+		}
+	}
+	return t
+}
+
+// TransposeToCSC converts a CSR matrix into the CSC format of the same
+// matrix — the operation the paper's SpTRANS kernel performs. The CSC
+// of A shares its layout with the CSR of Aᵀ.
+func TransposeToCSC(m *CSR) *CSC {
+	t := Transpose(m)
+	return &CSC{Rows: m.Rows, Cols: m.Cols, ColPtr: t.RowPtr, RowIdx: t.ColIdx, Val: t.Val}
+}

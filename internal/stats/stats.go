@@ -1,0 +1,253 @@
+// Package stats provides the statistical reductions used by the
+// paper's tables and figures: per-kernel gap/speedup summaries
+// (Tables 4 and 5), kernel-density estimation for the achievable-
+// performance distribution (Figure 1), geometric means (Figures
+// 26–27's GM bars), and 2D log-binned heat maps for the sparse
+// structure-impact plots (Figures 9–11 bottom, 20–22).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary compares a kernel across inputs with and without an OPM
+// configuration — one row of Table 4 or 5.
+type Summary struct {
+	Kernel       string
+	BestBase     float64 // best GFlop/s without the OPM
+	BestOPM      float64 // best GFlop/s with it
+	AvgGap       float64 // mean (opm - base) over inputs
+	MaxGap       float64 // max  (opm - base)
+	AvgSpeedup   float64 // mean (opm / base)
+	MaxSpeedup   float64 // max  (opm / base)
+	PeakGainPct  float64 // (BestOPM - BestBase) / BestBase * 100
+	SamplePoints int
+}
+
+// Summarize pairs base[i] with opm[i] (same input i) and reduces them.
+func Summarize(kernel string, base, opm []float64) (Summary, error) {
+	if len(base) != len(opm) || len(base) == 0 {
+		return Summary{}, fmt.Errorf("stats: mismatched or empty series (%d vs %d)", len(base), len(opm))
+	}
+	s := Summary{Kernel: kernel, SamplePoints: len(base), MaxGap: math.Inf(-1), MaxSpeedup: math.Inf(-1)}
+	var sumGap, sumSp float64
+	for i := range base {
+		if base[i] <= 0 || opm[i] <= 0 {
+			return Summary{}, fmt.Errorf("stats: non-positive throughput at %d", i)
+		}
+		if base[i] > s.BestBase {
+			s.BestBase = base[i]
+		}
+		if opm[i] > s.BestOPM {
+			s.BestOPM = opm[i]
+		}
+		gap := opm[i] - base[i]
+		sp := opm[i] / base[i]
+		sumGap += gap
+		sumSp += sp
+		if gap > s.MaxGap {
+			s.MaxGap = gap
+		}
+		if sp > s.MaxSpeedup {
+			s.MaxSpeedup = sp
+		}
+	}
+	s.AvgGap = sumGap / float64(len(base))
+	s.AvgSpeedup = sumSp / float64(len(base))
+	s.PeakGainPct = (s.BestOPM - s.BestBase) / s.BestBase * 100
+	return s, nil
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: GeoMean of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: GeoMean needs positive values, got %g", x)
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0..1) by linear interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Density is a sampled probability density (Figure 1's curves).
+type Density struct {
+	X []float64
+	Y []float64
+}
+
+// KDE estimates the density of samples with a Gaussian kernel over a
+// uniform grid of `points` between min and max (padded by one
+// bandwidth). Bandwidth uses Silverman's rule of thumb.
+func KDE(samples []float64, points int) (Density, error) {
+	if len(samples) < 2 || points < 2 {
+		return Density{}, fmt.Errorf("stats: KDE needs >=2 samples and points")
+	}
+	mean := Mean(samples)
+	variance := 0.0
+	for _, x := range samples {
+		variance += (x - mean) * (x - mean)
+	}
+	sd := math.Sqrt(variance / float64(len(samples)-1))
+	if sd == 0 {
+		sd = math.Max(1e-9, math.Abs(mean)*1e-3)
+	}
+	h := 1.06 * sd * math.Pow(float64(len(samples)), -0.2)
+	lo, hi := samples[0], samples[0]
+	for _, x := range samples {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	lo -= h
+	hi += h
+	d := Density{X: make([]float64, points), Y: make([]float64, points)}
+	norm := 1 / (float64(len(samples)) * h * math.Sqrt(2*math.Pi))
+	for i := 0; i < points; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(points-1)
+		var y float64
+		for _, s := range samples {
+			u := (x - s) / h
+			y += math.Exp(-0.5 * u * u)
+		}
+		d.X[i] = x
+		d.Y[i] = y * norm
+	}
+	return d, nil
+}
+
+// FractionAbove returns the fraction of samples strictly above the
+// threshold — e.g. the share of GEMM configurations reaching 90% of
+// peak, the quantity Figure 1 argues eDRAM improves.
+func FractionAbove(samples []float64, threshold float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range samples {
+		if x > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(samples))
+}
+
+// Grid2D is a log-binned 2D aggregation (mean per cell), the
+// structure-impact heat maps of Figures 9–11 and 20–22: x = nonzeros,
+// y = rows, value = throughput.
+type Grid2D struct {
+	XEdges []float64 // log10 bin edges
+	YEdges []float64
+	Mean   [][]float64 // [y][x], NaN for empty cells
+	Count  [][]int
+}
+
+// BinLog2D builds a Grid2D with nx×ny log10-spaced bins.
+func BinLog2D(xs, ys, vs []float64, nx, ny int) (Grid2D, error) {
+	if len(xs) != len(ys) || len(xs) != len(vs) || len(xs) == 0 {
+		return Grid2D{}, fmt.Errorf("stats: ragged or empty bin input")
+	}
+	if nx < 1 || ny < 1 {
+		return Grid2D{}, fmt.Errorf("stats: bad grid %dx%d", nx, ny)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return Grid2D{}, fmt.Errorf("stats: log binning needs positive coords")
+		}
+		minX, maxX = math.Min(minX, xs[i]), math.Max(maxX, xs[i])
+		minY, maxY = math.Min(minY, ys[i]), math.Max(maxY, ys[i])
+	}
+	lminX, lmaxX := math.Log10(minX), math.Log10(maxX)
+	lminY, lmaxY := math.Log10(minY), math.Log10(maxY)
+	if lmaxX == lminX {
+		lmaxX = lminX + 1
+	}
+	if lmaxY == lminY {
+		lmaxY = lminY + 1
+	}
+	g := Grid2D{
+		XEdges: make([]float64, nx+1),
+		YEdges: make([]float64, ny+1),
+		Mean:   make([][]float64, ny),
+		Count:  make([][]int, ny),
+	}
+	for i := 0; i <= nx; i++ {
+		g.XEdges[i] = lminX + (lmaxX-lminX)*float64(i)/float64(nx)
+	}
+	for j := 0; j <= ny; j++ {
+		g.YEdges[j] = lminY + (lmaxY-lminY)*float64(j)/float64(ny)
+	}
+	sums := make([][]float64, ny)
+	for j := 0; j < ny; j++ {
+		g.Mean[j] = make([]float64, nx)
+		g.Count[j] = make([]int, nx)
+		sums[j] = make([]float64, nx)
+	}
+	for i := range xs {
+		bx := binIndex(math.Log10(xs[i]), lminX, lmaxX, nx)
+		by := binIndex(math.Log10(ys[i]), lminY, lmaxY, ny)
+		sums[by][bx] += vs[i]
+		g.Count[by][bx]++
+	}
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			if g.Count[j][i] == 0 {
+				g.Mean[j][i] = math.NaN()
+			} else {
+				g.Mean[j][i] = sums[j][i] / float64(g.Count[j][i])
+			}
+		}
+	}
+	return g, nil
+}
+
+func binIndex(v, lo, hi float64, n int) int {
+	idx := int((v - lo) / (hi - lo) * float64(n))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}

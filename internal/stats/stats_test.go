@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	base := []float64{10, 20, 5}
+	opm := []float64{12, 20, 15}
+	s, err := Summarize("SpMV", base, opm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BestBase != 20 || s.BestOPM != 20 {
+		t.Fatalf("bests = %v/%v", s.BestBase, s.BestOPM)
+	}
+	if s.MaxGap != 10 {
+		t.Fatalf("max gap = %v, want 10", s.MaxGap)
+	}
+	if math.Abs(s.AvgGap-4) > 1e-12 {
+		t.Fatalf("avg gap = %v, want 4", s.AvgGap)
+	}
+	if s.MaxSpeedup != 3 {
+		t.Fatalf("max speedup = %v, want 3", s.MaxSpeedup)
+	}
+	if math.Abs(s.AvgSpeedup-(1.2+1+3)/3) > 1e-12 {
+		t.Fatalf("avg speedup = %v", s.AvgSpeedup)
+	}
+	if s.PeakGainPct != 0 {
+		t.Fatalf("peak gain = %v, want 0", s.PeakGainPct)
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	if _, err := Summarize("x", []float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Summarize("x", nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Summarize("x", []float64{0}, []float64{1}); err == nil {
+		t.Fatal("zero throughput accepted")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4, 16})
+	if err != nil || math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean = %v, %v", g, err)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Fatal("negative accepted")
+	}
+}
+
+func TestMeanAndQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Mean(xs) != 2.5 {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 4 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if got := Quantile(xs, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("median = %v", got)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}
+
+func TestKDEIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = rng.NormFloat64()*2 + 10
+	}
+	d, err := KDE(samples, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trapezoidal integral ≈ 1.
+	var integral float64
+	for i := 1; i < len(d.X); i++ {
+		integral += (d.Y[i] + d.Y[i-1]) / 2 * (d.X[i] - d.X[i-1])
+	}
+	if math.Abs(integral-1) > 0.05 {
+		t.Fatalf("KDE integral = %v, want ~1", integral)
+	}
+	// Mode near the true mean.
+	best := 0
+	for i := range d.Y {
+		if d.Y[i] > d.Y[best] {
+			best = i
+		}
+	}
+	if math.Abs(d.X[best]-10) > 1 {
+		t.Fatalf("KDE mode at %v, want ~10", d.X[best])
+	}
+}
+
+func TestKDEErrors(t *testing.T) {
+	if _, err := KDE([]float64{1}, 10); err == nil {
+		t.Fatal("single sample accepted")
+	}
+	if _, err := KDE([]float64{1, 2}, 1); err == nil {
+		t.Fatal("single point accepted")
+	}
+	// Identical samples should not panic (zero sd fallback).
+	if _, err := KDE([]float64{5, 5, 5}, 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFractionAbove(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if FractionAbove(xs, 2.5) != 0.5 {
+		t.Fatal("fraction wrong")
+	}
+	if FractionAbove(nil, 1) != 0 {
+		t.Fatal("empty should be 0")
+	}
+}
+
+func TestBinLog2D(t *testing.T) {
+	xs := []float64{10, 100, 1000, 10}
+	ys := []float64{10, 100, 1000, 10}
+	vs := []float64{1, 2, 3, 3}
+	g, err := BinLog2D(xs, ys, vs, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cell (0,0) holds samples 1 and 4: mean 2.
+	if g.Count[0][0] != 2 || g.Mean[0][0] != 2 {
+		t.Fatalf("cell(0,0) = %v x%d", g.Mean[0][0], g.Count[0][0])
+	}
+	// Top-right holds the value-3 sample (edge-inclusive).
+	if g.Count[2][2] != 1 || g.Mean[2][2] != 3 {
+		t.Fatalf("cell(2,2) = %v x%d", g.Mean[2][2], g.Count[2][2])
+	}
+	// Empty cells are NaN.
+	if !math.IsNaN(g.Mean[0][2]) {
+		t.Fatal("empty cell should be NaN")
+	}
+}
+
+func TestBinLog2DErrors(t *testing.T) {
+	if _, err := BinLog2D([]float64{1}, []float64{1, 2}, []float64{1}, 2, 2); err == nil {
+		t.Fatal("ragged accepted")
+	}
+	if _, err := BinLog2D(nil, nil, nil, 2, 2); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := BinLog2D([]float64{-1}, []float64{1}, []float64{1}, 2, 2); err == nil {
+		t.Fatal("negative coordinate accepted")
+	}
+	if _, err := BinLog2D([]float64{1}, []float64{1}, []float64{1}, 0, 2); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+	// Degenerate span (single point) must not panic.
+	if _, err := BinLog2D([]float64{5}, []float64{5}, []float64{1}, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: summaries are permutation-invariant on paired inputs.
+func TestPropertySummarizePermutationInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		n := 5 + int(seed%20)
+		base := make([]float64, n)
+		opm := make([]float64, n)
+		for i := range base {
+			base[i] = rng.Float64() + 0.1
+			opm[i] = rng.Float64() + 0.1
+		}
+		s1, err := Summarize("k", base, opm)
+		if err != nil {
+			return false
+		}
+		perm := rng.Perm(n)
+		b2 := make([]float64, n)
+		o2 := make([]float64, n)
+		for i, p := range perm {
+			b2[i], o2[i] = base[p], opm[p]
+		}
+		s2, err := Summarize("k", b2, o2)
+		if err != nil {
+			return false
+		}
+		near := func(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+		return near(s1.AvgGap, s2.AvgGap) && near(s1.MaxGap, s2.MaxGap) &&
+			near(s1.AvgSpeedup, s2.AvgSpeedup) && near(s1.BestOPM, s2.BestOPM)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(0, 4, 4); err == nil {
+		t.Fatal("zero dimension accepted")
+	}
+	g, err := NewGrid(4, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cells() != 120 {
+		t.Fatalf("cells = %d", g.Cells())
+	}
+	if g.FootprintBytes() != 960 {
+		t.Fatalf("footprint = %d", g.FootprintBytes())
+	}
+}
+
+func TestGridAccessAndHalo(t *testing.T) {
+	g, _ := NewGrid(3, 3, 3)
+	g.Set(1, 2, 0, 7)
+	if g.At(1, 2, 0) != 7 {
+		t.Fatal("Set/At broken")
+	}
+	// Halo cells are addressable via the stencil but zero: setting an
+	// interior cell must not leak.
+	if g.At(0, 0, 0) != 0 {
+		t.Fatal("unexpected nonzero cell")
+	}
+}
+
+func TestCoefficientsSumToZero(t *testing.T) {
+	// A second-derivative stencil must annihilate constants:
+	// c0 + 2*sum(c_r) == 0 (per axis).
+	s := Coeff[0]
+	for r := 1; r <= Radius; r++ {
+		s += 2 * Coeff[r]
+	}
+	if math.Abs(s) > 1e-12 {
+		t.Fatalf("stencil does not annihilate constants: %v", s)
+	}
+}
+
+func TestStepConstantFieldStaysConstant(t *testing.T) {
+	// With cur = prev = const, lap ≈ 0 so next = 2c - c = c.
+	nx, ny, nz := 20, 20, 20
+	cur, _ := NewGrid(nx, ny, nz)
+	prev, _ := NewGrid(nx, ny, nz)
+	next, _ := NewGrid(nx, ny, nz)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				cur.Set(x, y, z, 5)
+				prev.Set(x, y, z, 5)
+			}
+		}
+	}
+	// Fill halo too so boundary cells see a constant field.
+	fillHalo(cur, 5)
+	if err := Step(next, cur, prev, 0.1, Block{8, 8, 8}, 2); err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				if d := math.Abs(next.At(x, y, z) - 5); d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	if worst > 1e-5 {
+		t.Fatalf("constant field drifted by %v", worst)
+	}
+}
+
+// fillHalo sets every storage cell (including halo) of cells currently
+// zero to v — test helper for constant-field experiments.
+func fillHalo(g *Grid, v float64) {
+	for i := range g.data {
+		if g.data[i] == 0 {
+			g.data[i] = v
+		}
+	}
+}
+
+func TestStepMatchesDirectEvaluation(t *testing.T) {
+	nx, ny, nz := 24, 20, 18
+	cur, _ := NewGrid(nx, ny, nz)
+	prev, _ := NewGrid(nx, ny, nz)
+	next, _ := NewGrid(nx, ny, nz)
+	cur.FillRandom(1)
+	prev.FillRandom(2)
+	const v2dt2 = 0.25
+	if err := Step(next, cur, prev, v2dt2, Block{7, 5, 9}, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Direct evaluation at a few interior points.
+	points := [][3]int{{12, 10, 9}, {8, 8, 8}, {0, 0, 0}, {23, 19, 17}}
+	for _, pt := range points {
+		x, y, z := pt[0], pt[1], pt[2]
+		lap := 3 * Coeff[0] * cur.At(x, y, z)
+		for r := 1; r <= Radius; r++ {
+			lap += Coeff[r] * (atSafe(cur, x+r, y, z) + atSafe(cur, x-r, y, z) +
+				atSafe(cur, x, y+r, z) + atSafe(cur, x, y-r, z) +
+				atSafe(cur, x, y, z+r) + atSafe(cur, x, y, z-r))
+		}
+		want := 2*cur.At(x, y, z) - prev.At(x, y, z) + v2dt2*lap
+		if d := math.Abs(next.At(x, y, z) - want); d > 1e-12 {
+			t.Fatalf("cell %v: got %v want %v", pt, next.At(x, y, z), want)
+		}
+	}
+}
+
+// atSafe reads a cell that may sit in the halo (returns the stored
+// halo value, zero by default).
+func atSafe(g *Grid, x, y, z int) float64 { return g.data[g.idx(x, y, z)] }
+
+func TestStepBlockInvariance(t *testing.T) {
+	// Result must be identical regardless of blocking.
+	nx, ny, nz := 30, 26, 22
+	mk := func() (*Grid, *Grid, *Grid) {
+		cur, _ := NewGrid(nx, ny, nz)
+		prev, _ := NewGrid(nx, ny, nz)
+		next, _ := NewGrid(nx, ny, nz)
+		cur.FillRandom(4)
+		prev.FillRandom(5)
+		return cur, prev, next
+	}
+	cur1, prev1, next1 := mk()
+	cur2, prev2, next2 := mk()
+	if err := Step(next1, cur1, prev1, 0.3, Block{64, 64, 96}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Step(next2, cur2, prev2, 0.3, Block{5, 7, 3}, 4); err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				if d := math.Abs(next1.At(x, y, z) - next2.At(x, y, z)); d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	if worst != 0 {
+		t.Fatalf("blocking changed the result by %v", worst)
+	}
+}
+
+func TestStepErrors(t *testing.T) {
+	a, _ := NewGrid(8, 8, 8)
+	b, _ := NewGrid(8, 8, 9)
+	if Step(a, b, a, 0.1, DefaultBlock, 1) == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	c, _ := NewGrid(8, 8, 8)
+	if Step(a, c, c, 0.1, Block{0, 1, 1}, 1) == nil {
+		t.Fatal("bad block accepted")
+	}
+}
+
+func TestRunRotatesGrids(t *testing.T) {
+	cur, _ := NewGrid(16, 16, 16)
+	prev, _ := NewGrid(16, 16, 16)
+	scratch, _ := NewGrid(16, 16, 16)
+	cur.FillRandom(6)
+	prev.FillRandom(7)
+	out, err := Run(cur, prev, scratch, 0.1, 4, Block{8, 8, 8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil || out.Cells() != 4096 {
+		t.Fatal("Run returned bad grid")
+	}
+	// Energy should stay finite for a small CFL factor.
+	var sum float64
+	for z := 0; z < 16; z++ {
+		for y := 0; y < 16; y++ {
+			for x := 0; x < 16; x++ {
+				v := out.At(x, y, z)
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatal("solution blew up")
+				}
+				sum += v * v
+			}
+		}
+	}
+	if sum == 0 {
+		t.Fatal("solution vanished")
+	}
+}
+
+func TestFlops(t *testing.T) {
+	if Flops(1000, 3) != 61*1000*3 {
+		t.Fatal("Flops formula wrong")
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	nx, ny, nz := 128, 128, 64
+	cur, _ := NewGrid(nx, ny, nz)
+	prev, _ := NewGrid(nx, ny, nz)
+	next, _ := NewGrid(nx, ny, nz)
+	cur.FillRandom(1)
+	prev.FillRandom(2)
+	b.SetBytes(cur.Cells() * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Step(next, cur, prev, 0.1, DefaultBlock, 0); err != nil {
+			b.Fatal(err)
+		}
+		next, cur, prev = prev, next, cur
+	}
+	b.ReportMetric(Flops(cur.Cells(), b.N)/b.Elapsed().Seconds()/1e9, "GFlop/s")
+}

@@ -1,0 +1,68 @@
+package trace
+
+import "repro/internal/memsim"
+
+// Cholesky replays the tiled right-looking factorization of
+// kernels.Cholesky at line granularity: per panel step, the diagonal
+// tile factor (POTRF), the panel solve (TRSM) and the trailing update
+// (SYRK) with their actual read/write footprints. Like the GEMM
+// generator it exists to validate the analytic dense model at small
+// orders; paper-scale sweeps use DenseModel.
+type Cholesky struct {
+	N  int // matrix order
+	NB int // tile size
+}
+
+// Name implements Workload.
+func (w *Cholesky) Name() string { return "Cholesky" }
+
+// Flops implements Workload (Table 2: n³/3).
+func (w *Cholesky) Flops() float64 { return float64(w.N) * float64(w.N) * float64(w.N) / 3 }
+
+// FootprintBytes implements Workload: the matrix itself.
+func (w *Cholesky) FootprintBytes() int64 { return int64(w.N) * int64(w.N) * f64 }
+
+// Simulate implements Workload.
+func (w *Cholesky) Simulate(sim *memsim.Sim) {
+	n, nb := int64(w.N), int64(w.NB)
+	if nb > n {
+		nb = n
+	}
+	a := sim.Alloc("A", n*n*f64)
+	rowSeg := func(i, j0, j1 int64) {
+		a.LoadLines((i*n+j0)*f64, (j1-j0)*f64)
+	}
+	rowSegW := func(i, j0, j1 int64) {
+		a.StoreLines((i*n+j0)*f64, (j1-j0)*f64)
+	}
+	sim.ResetTraffic() // single-shot kernel, like the timed PLASMA run
+
+	for k0 := int64(0); k0 < n; k0 += nb {
+		k1 := min64(k0+nb, n)
+		// POTRF on the diagonal tile: each row segment read and
+		// rewritten against the preceding rows of the tile.
+		for j := k0; j < k1; j++ {
+			rowSeg(j, k0, j+1)
+			rowSegW(j, k0, j+1)
+		}
+		// TRSM panel: every row below the tile reads the factored tile
+		// rows and rewrites its own segment.
+		for i := k1; i < n; i++ {
+			rowSeg(i, k0, k1)
+			for j := k0; j < k1; j += 8 { // tile rows, line-strided
+				rowSeg(j, k0, k1)
+			}
+			rowSegW(i, k0, k1)
+		}
+		// SYRK trailing update: row i combines panel rows i and j and
+		// rewrites its trailing segment A[i, k1..i].
+		for i := k1; i < n; i++ {
+			rowSeg(i, k0, k1)
+			for j := k1; j <= i; j += 8 {
+				rowSeg(j, k0, k1)
+			}
+			rowSeg(i, k1, i+1)
+			rowSegW(i, k1, i+1)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package trace
+
+import "repro/internal/memsim"
+
+// CoStream models the paper's future-work question — "under a
+// multi-user scenario, how would the OS distribute the OPM resources
+// among applications" — by interleaving two independent STREAM triads
+// in one address space. Tenant A and tenant B each own three arrays;
+// their accesses alternate chunk by chunk, so they contend for every
+// cache level and for the OPM the way two co-scheduled processes
+// would.
+type CoStream struct {
+	A, B *Stream
+}
+
+// NewCoStream builds two co-running triads with the given simulated
+// per-tenant footprints.
+func NewCoStream(fpA, fpB int64) *CoStream {
+	return &CoStream{A: NewStream(fpA), B: NewStream(fpB)}
+}
+
+// Name implements Workload.
+func (w *CoStream) Name() string { return "Stream" } // tuned like Stream
+
+// Flops implements Workload: both tenants' work.
+func (w *CoStream) Flops() float64 { return w.A.Flops() + w.B.Flops() }
+
+// FootprintBytes implements Workload.
+func (w *CoStream) FootprintBytes() int64 { return w.A.FootprintBytes() + w.B.FootprintBytes() }
+
+// Simulate implements Workload: chunk-interleaved triads.
+func (w *CoStream) Simulate(sim *memsim.Sim) {
+	bytesA := w.A.N * f64
+	bytesB := w.B.N * f64
+	xA := sim.Alloc("xA", bytesA)
+	aA := sim.Alloc("aA", bytesA)
+	bA := sim.Alloc("bA", bytesA)
+	xB := sim.Alloc("xB", bytesB)
+	aB := sim.Alloc("aB", bytesB)
+	bB := sim.Alloc("bB", bytesB)
+
+	const chunk = int64(64 * 16)
+	pass := func() {
+		offA, offB := int64(0), int64(0)
+		for offA < bytesA || offB < bytesB {
+			if offA < bytesA {
+				n := min64(chunk, bytesA-offA)
+				aA.LoadLines(offA, n)
+				bA.LoadLines(offA, n)
+				xA.StoreLines(offA, n)
+				offA += n
+			}
+			if offB < bytesB {
+				n := min64(chunk, bytesB-offB)
+				aB.LoadLines(offB, n)
+				bB.LoadLines(offB, n)
+				xB.StoreLines(offB, n)
+				offB += n
+			}
+		}
+	}
+	pass()
+	sim.ResetTraffic()
+	pass()
+}

@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/memsim"
+)
+
+// DenseKind selects the dense kernel modelled analytically.
+type DenseKind int
+
+// Dense kernels with analytic traffic models.
+const (
+	DenseGEMM DenseKind = iota
+	DenseCholesky
+)
+
+// String returns the kernel name.
+func (k DenseKind) String() string {
+	if k == DenseCholesky {
+		return "Cholesky"
+	}
+	return "GEMM"
+}
+
+// DenseModel is the analytic tiled-traffic model for GEMM and Cholesky
+// at paper scale. A full trace of order 16128 would need ~10^12
+// accesses, but blocked dense kernels have closed-form per-level
+// traffic: a tile pass reuses a b×b working set, so the bytes crossing
+// the boundary below a cache of capacity C are ≈ flops·8/b_r(C), where
+// the effective reuse block b_r degrades hyperbolically once the three
+// tiles (3·b²·8 bytes) exceed C. The resulting per-source byte counts
+// feed the same memsim.Evaluate timing model the trace simulator uses
+// (validated against the trace GEMM generator at small orders in
+// tests).
+type DenseModel struct {
+	Kind DenseKind
+	N    int // matrix order (paper scale)
+	NB   int // tile size (the paper's --nb sweep)
+}
+
+// Flops returns the Table 2 operation count (2n³ or n³/3).
+func (m DenseModel) Flops() float64 {
+	n := float64(m.N)
+	if m.Kind == DenseCholesky {
+		return n * n * n / 3
+	}
+	return 2 * n * n * n
+}
+
+// FootprintBytes returns the working footprint at paper scale:
+// Table 2's 32n² for GEMM; Cholesky holds the matrix plus the tiled
+// layout copy and panel workspace (~24n² for PLASMA-style storage).
+func (m DenseModel) FootprintBytes() int64 {
+	n := int64(m.N)
+	if m.Kind == DenseCholesky {
+		return 24 * n * n
+	}
+	return 32 * n * n
+}
+
+// TileEff models the loop/scheduling overhead of small tiles; SizeEff
+// models the startup/parallelism cost of small problems (the paper's
+// "sufficient data size is required ... maintaining high arithmetic
+// intensity"). Both multiply the kernel's base compute efficiency.
+func (m DenseModel) TileEff() float64 {
+	nb := float64(min(m.NB, m.N))
+	return nb / (nb + 24)
+}
+
+// SizeEff returns the problem-size efficiency factor; cores is the
+// platform core count (more cores need larger problems to fill).
+func (m DenseModel) SizeEff(cores int) float64 {
+	n := float64(m.N)
+	n0 := 60 * float64(cores) // ~240 on Broadwell, ~3840 on KNL
+	return n / (n + n0)
+}
+
+// UnscaledConfig returns cfg with capacities restored to paper scale
+// (Scale=1) so analytic paper-scale traffic can be evaluated directly.
+func UnscaledConfig(cfg memsim.Config) memsim.Config {
+	s := cfg.Scale
+	out := cfg
+	out.L1.Size *= s
+	out.L2.Size *= s
+	out.L3.Size *= s
+	out.EDRAM.Size *= s
+	out.MCDRAMBytes *= s
+	out.Scale = 1
+	return out
+}
+
+// Traffic computes the per-source byte counts of one run under the
+// given (unscaled) configuration.
+func (m DenseModel) Traffic(cfg *memsim.Config) (memsim.Traffic, error) {
+	if cfg.Scale != 1 {
+		return memsim.Traffic{}, fmt.Errorf("trace: DenseModel needs an unscaled config (got scale %d)", cfg.Scale)
+	}
+	if m.N <= 0 || m.NB <= 0 {
+		return memsim.Traffic{}, fmt.Errorf("trace: DenseModel needs positive n/nb, got %d/%d", m.N, m.NB)
+	}
+	fp := m.FootprintBytes()
+	var tr memsim.Traffic
+	tr.FootprintBytes = fp
+
+	// Cache levels above memory, nearest first. The L1 boundary is
+	// special: tuned dense kernels keep a register/L1 micro-kernel
+	// whose reuse does not collapse for oversized outer tiles, so L1
+	// gets no thrash decay (innermost=true).
+	type lvl struct {
+		src       memsim.Source
+		cap       int64
+		innermost bool
+	}
+	caches := []lvl{
+		{memsim.SrcL1, cfg.L1.Size, true},
+		{memsim.SrcL2, cfg.L2.Size, false},
+	}
+	if cfg.L3.Size > 0 {
+		caches = append(caches, lvl{memsim.SrcL3, cfg.L3.Size, false})
+	}
+	switch cfg.Mode {
+	case memsim.ModeEDRAM, memsim.ModeEDRAMMemSide:
+		caches = append(caches, lvl{memsim.SrcEDRAM, cfg.EDRAM.Size, false})
+	case memsim.ModeCache:
+		caches = append(caches, lvl{memsim.SrcMCDRAM, cfg.MCDRAMBytes, false})
+	case memsim.ModeHybrid:
+		caches = append(caches, lvl{memsim.SrcMCDRAM, cfg.MCDRAMBytes / 2, false})
+	}
+
+	// missBelow[i] = bytes crossing the boundary below caches[i],
+	// clamped monotone (deeper boundaries carry no more traffic).
+	missBelow := make([]float64, len(caches))
+	prev := math.Inf(1)
+	for i, c := range caches {
+		b := m.crossingBytes(c.cap, c.innermost)
+		if b > prev {
+			b = prev
+		}
+		missBelow[i] = b
+		prev = b
+	}
+
+	// Bytes served by cache level i+1 = missBelow[i] - missBelow[i+1].
+	// L1 hits are free (SrcL1 carries no bandwidth bound).
+	for i := 0; i+1 < len(caches); i++ {
+		tr.Bytes[caches[i+1].src] = uint64(math.Max(0, missBelow[i]-missBelow[i+1]))
+	}
+	memBytes := missBelow[len(caches)-1]
+
+	// Route the final misses to memory according to the mode. pre is
+	// the traffic entering the memory subsystem (below the last
+	// on-chip cache).
+	switch cfg.Mode {
+	case memsim.ModeFlat:
+		if fp <= cfg.MCDRAMBytes {
+			tr.Bytes[memsim.SrcMCDRAM] = uint64(memBytes)
+		} else {
+			// numactl-preferred allocation straddles: resident fraction
+			// in MCDRAM, the rest in DDR, with the split pathology.
+			frac := float64(cfg.MCDRAMBytes) / float64(fp)
+			tr.Bytes[memsim.SrcMCDRAM] = uint64(memBytes * frac)
+			tr.Bytes[memsim.SrcDDR] = uint64(memBytes * (1 - frac))
+			tr.SplitFlat = true
+		}
+	case memsim.ModeCache:
+		// Everything consulted the in-MCDRAM tags; misses also install.
+		pre := missBelow[len(caches)-2]
+		tr.MCTagLines = uint64(pre / 64)
+		tr.Bytes[memsim.SrcDDR] = uint64(memBytes)
+		tr.WBBytes[memsim.SrcMCDRAM] += uint64(memBytes) // fills install
+	case memsim.ModeHybrid:
+		// The flat half hosts a resident fraction f of the data whose
+		// accesses bypass the tags; the rest flows through the cached
+		// half (whose capacity the crossing chain already modelled).
+		pre := missBelow[len(caches)-2]
+		half := cfg.MCDRAMBytes / 2
+		f := 1.0
+		if fp > half {
+			f = float64(half) / float64(fp)
+		}
+		flatBytes := pre * f
+		cachedServed := math.Max(0, (pre-memBytes)*(1-f))
+		tr.Bytes[memsim.SrcMCDRAM] = uint64(flatBytes + cachedServed)
+		tr.MCTagLines = uint64(pre * (1 - f) / 64)
+		tr.Bytes[memsim.SrcDDR] = uint64(memBytes * (1 - f))
+		tr.WBBytes[memsim.SrcMCDRAM] += uint64(memBytes * (1 - f))
+	case memsim.ModeEDRAMMemSide:
+		// Fills install into the memory-side buffer.
+		tr.Bytes[memsim.SrcDDR] = uint64(memBytes)
+		tr.WBBytes[memsim.SrcEDRAM] += uint64(memBytes)
+	default:
+		tr.Bytes[memsim.SrcDDR] = uint64(memBytes)
+	}
+	for s := memsim.SrcL2; s <= memsim.SrcDDR; s++ {
+		tr.Lines[s] = tr.Bytes[s] / 64
+	}
+	return tr, nil
+}
+
+// crossingBytes returns the bytes crossing the boundary below a cache
+// of the given capacity. innermost marks the register/L1 micro-kernel
+// boundary, whose reuse has a floor instead of thrash decay.
+func (m DenseModel) crossingBytes(capBytes int64, innermost bool) float64 {
+	fp := float64(m.FootprintBytes())
+	if fp <= float64(capBytes) {
+		// Fits: only compulsory traffic crosses.
+		return fp
+	}
+	n := float64(m.N)
+	if 12*n*n <= float64(capBytes) {
+		// The re-swept panel (B plus active bands) is cache resident
+		// even though the total footprint is not: no refetch traffic.
+		return fp
+	}
+	nb := float64(min(m.NB, m.N))
+	bFit := math.Sqrt(float64(capBytes) / 24) // 3 tiles of b² float64s
+	bR := math.Min(nb, bFit)
+	if !innermost && nb > bFit {
+		bR = math.Max(8, bFit*bFit/nb) // thrash decay past capacity
+	}
+	if bR < 8 {
+		bR = 8 // register micro-kernel floor
+	}
+	if bR > n {
+		bR = n
+	}
+	// Tile streaming term: every flop touches operand tiles reused bR
+	// ways, so bytes = flops·8/bR. The second term is the output-matrix
+	// rewrite: tiled GEMM with the k-tile loop outside the j loop
+	// re-streams C once per k-tile (16n³/nb); right-looking Cholesky
+	// reads and writes the shrinking trailing matrix once per panel
+	// (Σ(n−k·nb)²·16 ≈ 16n³/(3nb)).
+	rewrite := 16 * n * n * (n/nb + 1)
+	if m.Kind == DenseCholesky {
+		rewrite = 16*n*n*n/(3*nb) + 16*n*n
+	}
+	return m.Flops()*8/bR + rewrite + fp
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"repro/internal/fft"
+	"repro/internal/memsim"
+)
+
+// FFT replays the paper's 3D-FFTW pass structure over a complex128
+// array of shape (nz, ny, nx): a strided Y pass, a contiguous X pass
+// and a strided Z pass, each reading and writing every element once
+// (line transforms happen in cache). The strided passes are what makes
+// large 3D FFTs bandwidth hungry.
+type FFT struct {
+	NX, NY, NZ int
+}
+
+// NewFFT builds a roughly cubic power-of-two 3D FFT whose complex
+// array is close to footprint bytes at simulated scale.
+func NewFFT(footprint int64) *FFT {
+	// Pick the largest power-of-two cube ≤ footprint, then extend Z.
+	n := 4
+	for int64(n*2)*int64(n*2)*int64(n*2)*c128 <= footprint {
+		n *= 2
+	}
+	nz := n
+	for int64(n)*int64(n)*int64(nz*2)*c128 <= footprint {
+		nz *= 2
+	}
+	return &FFT{NX: n, NY: n, NZ: nz}
+}
+
+// Name implements Workload.
+func (w *FFT) Name() string { return "FFT" }
+
+// Flops implements Workload (Table 2: 5·N·log2 N for the full 3D
+// transform of N points).
+func (w *FFT) Flops() float64 { return fft.Flops(w.NX * w.NY * w.NZ) }
+
+// FootprintBytes implements Workload.
+func (w *FFT) FootprintBytes() int64 {
+	return int64(w.NX) * int64(w.NY) * int64(w.NZ) * c128
+}
+
+// Simulate implements Workload.
+func (w *FFT) Simulate(sim *memsim.Sim) {
+	nx, ny, nz := int64(w.NX), int64(w.NY), int64(w.NZ)
+	data := sim.Alloc("data", nx*ny*nz*c128)
+	elem := func(x, y, z int64) int64 { return ((z*ny+y)*nx + x) * c128 }
+
+	yPass := func() {
+		for z := int64(0); z < nz; z++ {
+			for x := int64(0); x < nx; x++ {
+				for y := int64(0); y < ny; y++ {
+					data.Load(elem(x, y, z), c128)
+				}
+				for y := int64(0); y < ny; y++ {
+					data.Store(elem(x, y, z), c128)
+				}
+			}
+		}
+	}
+	xPass := func() {
+		for z := int64(0); z < nz; z++ {
+			for y := int64(0); y < ny; y++ {
+				data.LoadLines(elem(0, y, z), nx*c128)
+				data.StoreLines(elem(0, y, z), nx*c128)
+			}
+		}
+	}
+	zPass := func() {
+		for y := int64(0); y < ny; y++ {
+			for x := int64(0); x < nx; x++ {
+				for z := int64(0); z < nz; z++ {
+					data.Load(elem(x, y, z), c128)
+				}
+				for z := int64(0); z < nz; z++ {
+					data.Store(elem(x, y, z), c128)
+				}
+			}
+		}
+	}
+	// Warm-up: the plan/setup pass touches the array once.
+	data.LoadLines(0, nx*ny*nz*c128)
+	sim.ResetTraffic()
+	yPass()
+	xPass()
+	zPass()
+}

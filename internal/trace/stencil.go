@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"math"
+
+	"repro/internal/memsim"
+	"repro/internal/stencil"
+)
+
+// Stencil replays the iso3dfd sweep at cache-line granularity: for
+// every 8-cell x-run it touches the centre line, the 16 y-neighbour
+// and 16 z-neighbour lines (x-neighbours share the centre run's
+// lines), the prev read and the next write — the radius-8 16th-order
+// access pattern under the paper's 64×64×96 spatial blocking.
+type Stencil struct {
+	NX, NY, NZ int
+	Block      stencil.Block
+}
+
+// NewStencil builds a grid triple totalling about footprint bytes at
+// simulated scale, using the paper's default blocking scaled down by
+// the platform's capacity factor (the 64×64×96 block is sized for the
+// real caches; the simulated ones are 1/scale the size, so the block's
+// ~3 MB working set shrinks by the same factor).
+func NewStencil(footprint, scale int64) *Stencil {
+	// Three grids of 8-byte cells; pick x-extent multiple of 8.
+	cells := footprint / (3 * f64)
+	n := 8
+	for int64(n*2)*int64(n*2)*int64(n*2) <= cells {
+		n *= 2
+	}
+	nz := n
+	for int64(n)*int64(n)*int64(nz+nz/2) <= cells {
+		nz += nz / 2
+	}
+	blk := stencil.DefaultBlock
+	if scale > 1 {
+		// Shrink each block dimension by scale^(1/3), keeping x a
+		// multiple of 8 lines-worth of cells.
+		f := math.Cbrt(float64(scale))
+		shrink := func(v int, min int) int {
+			out := int(float64(v) / f)
+			if out < min {
+				out = min
+			}
+			return out
+		}
+		blk = stencil.Block{X: shrink(blk.X, 8), Y: shrink(blk.Y, 4), Z: shrink(blk.Z, 4)}
+	}
+	return &Stencil{NX: n, NY: n, NZ: nz, Block: blk}
+}
+
+// Name implements Workload.
+func (w *Stencil) Name() string { return "Stencil" }
+
+// Flops implements Workload (Table 2: 61 per cell per sweep).
+func (w *Stencil) Flops() float64 {
+	return stencil.Flops(int64(w.NX)*int64(w.NY)*int64(w.NZ), 1)
+}
+
+// FootprintBytes implements Workload: three grids (prev, cur, next).
+func (w *Stencil) FootprintBytes() int64 {
+	return 3 * int64(w.NX) * int64(w.NY) * int64(w.NZ) * f64
+}
+
+// Simulate implements Workload.
+func (w *Stencil) Simulate(sim *memsim.Sim) {
+	nx, ny, nz := int64(w.NX), int64(w.NY), int64(w.NZ)
+	// Pad the storage strides like YASK does: power-of-two plane
+	// strides alias every z-neighbour of a column into one cache set
+	// and thrash even generously sized caches.
+	px, py := nx+8, ny+1
+	gridBytes := px * py * nz * f64
+	cur := sim.Alloc("cur", gridBytes)
+	prev := sim.Alloc("prev", gridBytes)
+	next := sim.Alloc("next", gridBytes)
+	cell := func(x, y, z int64) int64 { return ((z*py+y)*px + x) * f64 }
+
+	bx, by, bz := int64(w.Block.X), int64(w.Block.Y), int64(w.Block.Z)
+	const r = int64(stencil.Radius)
+	sweep := func() {
+		for z0 := int64(0); z0 < nz; z0 += bz {
+			z1 := min64(z0+bz, nz)
+			for y0 := int64(0); y0 < ny; y0 += by {
+				y1 := min64(y0+by, ny)
+				for x0 := int64(0); x0 < nx; x0 += bx {
+					x1 := min64(x0+bx, nx)
+					for z := z0; z < z1; z++ {
+						for y := y0; y < y1; y++ {
+							for x := x0; x < x1; x += 8 {
+								run := min64(8*f64, (x1-x)*f64)
+								// Centre run covers the ±8 x-neighbours.
+								cur.LoadLines(cell(x, y, z), run)
+								for d := int64(1); d <= r; d++ {
+									if y-d >= 0 {
+										cur.LoadLines(cell(x, y-d, z), run)
+									}
+									if y+d < ny {
+										cur.LoadLines(cell(x, y+d, z), run)
+									}
+									if z-d >= 0 {
+										cur.LoadLines(cell(x, y, z-d), run)
+									}
+									if z+d < nz {
+										cur.LoadLines(cell(x, y, z+d), run)
+									}
+								}
+								prev.LoadLines(cell(x, y, z), run)
+								next.StoreLines(cell(x, y, z), run)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sweep() // warm-up sweep (time iteration steady state)
+	sim.ResetTraffic()
+	sweep()
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,55 @@
+package trace
+
+import "repro/internal/memsim"
+
+// Stream replays the STREAM TRIAD access pattern x = a + α·b: two
+// sequential read streams and one write stream (write-allocate, so
+// the store also fills — Table 2's 32 bytes/element accounting).
+type Stream struct {
+	// N is the number of float64 elements per array (simulated scale).
+	N int64
+}
+
+// NewStream builds a triad workload whose three arrays total
+// footprint bytes at simulated scale.
+func NewStream(footprint int64) *Stream {
+	n := footprint / (3 * f64)
+	if n < 8 {
+		n = 8
+	}
+	return &Stream{N: n}
+}
+
+// Name implements Workload.
+func (w *Stream) Name() string { return "Stream" }
+
+// Flops implements Workload: 2n per pass.
+func (w *Stream) Flops() float64 { return 2 * float64(w.N) }
+
+// FootprintBytes implements Workload.
+func (w *Stream) FootprintBytes() int64 { return 3 * w.N * f64 }
+
+// Simulate implements Workload.
+func (w *Stream) Simulate(sim *memsim.Sim) {
+	bytes := w.N * f64
+	x := sim.Alloc("x", bytes)
+	a := sim.Alloc("a", bytes)
+	b := sim.Alloc("b", bytes)
+	pass := func() {
+		// Interleave line-granular progress through the three streams
+		// the way the hardware sees a triad: load a, load b, store x.
+		const chunk = int64(64 * 16) // advance 16 lines per array at a time
+		for off := int64(0); off < bytes; off += chunk {
+			n := chunk
+			if off+n > bytes {
+				n = bytes - off
+			}
+			a.LoadLines(off, n)
+			b.LoadLines(off, n)
+			x.StoreLines(off, n)
+		}
+	}
+	pass() // warm-up: populate caches
+	sim.ResetTraffic()
+	pass()
+}

@@ -1,0 +1,29 @@
+// Package trace contains kernel access-stream generators: for each of
+// the paper's kernels, a Workload that replays the kernel's memory
+// behaviour (same loop nests, same blocking, same irregular index
+// streams) through the memsim hierarchy simulator. Dense kernels
+// (GEMM, Cholesky) additionally have an analytic tiled-traffic model
+// (densemodel.go) used for the paper's large heat-map sweeps, which is
+// cross-validated against the trace generators at small sizes.
+package trace
+
+import "repro/internal/memsim"
+
+// Workload generates the simulated memory behaviour of one kernel run.
+type Workload interface {
+	// Name returns the kernel name (matches the paper's Table 2).
+	Name() string
+	// Flops returns the Table 2 operation count of one measured pass.
+	Flops() float64
+	// FootprintBytes estimates the simulated allocation size.
+	FootprintBytes() int64
+	// Simulate allocates buffers in sim, runs warm-up passes, resets
+	// the traffic counters, and replays exactly one measured pass.
+	Simulate(sim *memsim.Sim)
+}
+
+const (
+	f64  = 8 // bytes per float64
+	i32  = 4 // bytes per int32
+	c128 = 16
+)

@@ -1,0 +1,108 @@
+// Package repro is the public facade of the reproduction of
+// "Exploring and Analyzing the Real Impact of Modern On-Package Memory
+// on HPC Scientific Kernels" (SC'17).
+//
+// The library has three layers:
+//
+//   - substrates: sparse/dense/FFT/stencil numeric kernels
+//     (internal/kernels, internal/sparse, internal/fft,
+//     internal/stencil) and the memory-hierarchy simulator
+//     (internal/cache, internal/memsim);
+//   - the evaluation engine (internal/core): Machines pairing a
+//     platform (Table 3) with a memory mode (Table 1), running kernel
+//     workloads through the simulator and the executable Stepping
+//     model;
+//   - the experiment harness (internal/harness): one runner per table
+//     and figure of the paper.
+//
+// This package re-exports the types most users need so examples and
+// downstream code can write repro.NewMachine(repro.Broadwell(),
+// repro.ModeEDRAM) without importing the internal tree. See README.md
+// for a tour and DESIGN.md for the substitution notes (the study's
+// hardware is modelled, not required).
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/memsim"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// Re-exported core types.
+type (
+	// Machine is one platform in one memory mode.
+	Machine = core.Machine
+	// Platform describes an evaluation machine (Table 3).
+	Platform = platform.Platform
+	// Mode selects the memory configuration (Table 1).
+	Mode = memsim.Mode
+	// Result is one evaluated kernel run.
+	Result = memsim.Result
+	// Workload generates a kernel's simulated memory behaviour.
+	Workload = trace.Workload
+	// Experiment reproduces one table or figure.
+	Experiment = harness.Experiment
+	// Report is an experiment's outcome.
+	Report = harness.Report
+	// Options controls experiment scale and output.
+	Options = harness.Options
+)
+
+// Memory modes (Table 1).
+const (
+	ModeDDR    = memsim.ModeDDR
+	ModeEDRAM  = memsim.ModeEDRAM
+	ModeCache  = memsim.ModeCache
+	ModeFlat   = memsim.ModeFlat
+	ModeHybrid = memsim.ModeHybrid
+	// ModeEDRAMMemSide is the Skylake-style memory-side eDRAM
+	// arrangement (extension platform).
+	ModeEDRAMMemSide = memsim.ModeEDRAMMemSide
+)
+
+// Dense kernels with analytic heat-map models.
+const (
+	GEMM     = trace.DenseGEMM
+	Cholesky = trace.DenseCholesky
+)
+
+// Broadwell returns the i7-5775c platform (eDRAM OPM).
+func Broadwell() *Platform { return platform.Broadwell() }
+
+// KNL returns the Xeon Phi 7210 platform (MCDRAM OPM).
+func KNL() *Platform { return platform.KNL() }
+
+// Skylake returns the extension platform with memory-side eDRAM.
+func Skylake() *Platform { return platform.Skylake() }
+
+// Platforms returns both evaluation machines.
+func Platforms() []*Platform { return platform.All() }
+
+// NewMachine pairs a platform with a memory mode.
+func NewMachine(p *Platform, mode Mode) (*Machine, error) { return core.NewMachine(p, mode) }
+
+// NewStream builds a STREAM triad workload of the given simulated
+// footprint (use Platform.ScaledBytes to convert paper sizes).
+func NewStream(simFootprint int64) Workload { return trace.NewStream(simFootprint) }
+
+// NewStencil builds an iso3dfd workload; scale shrinks the paper's
+// 64×64×96 blocking along with the platform's capacity scale.
+func NewStencil(simFootprint, scale int64) Workload { return trace.NewStencil(simFootprint, scale) }
+
+// NewFFT builds a 3D FFT workload.
+func NewFFT(simFootprint int64) Workload { return trace.NewFFT(simFootprint) }
+
+// Experiments lists every reproducible table and figure in paper
+// order.
+func Experiments() []Experiment { return harness.Registry() }
+
+// RunExperiment runs one experiment by ID ("fig7", "table4", ...).
+func RunExperiment(id string, opt Options) (*Report, error) {
+	e, err := harness.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(opt)
+}

@@ -1,0 +1,76 @@
+package repro
+
+import "testing"
+
+func TestFacadePlatforms(t *testing.T) {
+	if len(Platforms()) != 2 {
+		t.Fatal("expected two platforms")
+	}
+	if Broadwell().Name != "broadwell" || KNL().Name != "knl" {
+		t.Fatal("platform names wrong")
+	}
+}
+
+func TestFacadeMachineRun(t *testing.T) {
+	m, err := NewMachine(Broadwell(), ModeEDRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewStream(Broadwell().ScaledBytes(64 << 20))
+	r, err := m.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GFlops <= 0 || r.Seconds <= 0 {
+		t.Fatalf("bad result %+v", r)
+	}
+	if _, err := NewMachine(Broadwell(), ModeFlat); err == nil {
+		t.Fatal("flat mode on Broadwell accepted")
+	}
+}
+
+func TestFacadeDense(t *testing.T) {
+	m, err := NewMachine(KNL(), ModeHybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.RunDense(GEMM, 8192, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GFlops < 100 {
+		t.Fatalf("GEMM too slow: %v", r.GFlops)
+	}
+	if _, err := m.RunDense(Cholesky, 8192, 1024); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeWorkloadConstructors(t *testing.T) {
+	for _, w := range []Workload{
+		NewStream(1 << 20),
+		NewStencil(1<<20, 16),
+		NewFFT(1 << 20),
+	} {
+		if w.Flops() <= 0 || w.FootprintBytes() <= 0 {
+			t.Fatalf("%s: bad accounting", w.Name())
+		}
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 25 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	rep, err := RunExperiment("table2", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Text == "" || len(rep.Findings) == 0 {
+		t.Fatal("empty report")
+	}
+	if _, err := RunExperiment("fig99", Options{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
