@@ -1,0 +1,16 @@
+# Convenience targets; see scripts/check.sh for the full gate.
+
+.PHONY: build test check bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Full pre-merge gate: vet + race-enabled tests.
+check:
+	scripts/check.sh
+
+bench:
+	go test -bench=BenchmarkSweepEngine -benchtime=1x -run=^$$ .

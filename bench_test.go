@@ -1,6 +1,9 @@
 package repro
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/harness"
@@ -13,19 +16,46 @@ import (
 // paper scale.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	benchExperimentOpts(b, id, harness.Options{})
+}
+
+func benchExperimentOpts(b *testing.B, id string, opt harness.Options) {
+	b.Helper()
 	e, err := harness.Get(id)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep, err := e.Run(harness.Options{})
+		rep, err := e.Run(context.Background(), opt)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if len(rep.Findings) == 0 {
 			b.Fatalf("%s produced no findings", id)
 		}
+	}
+}
+
+// BenchmarkSweepEngine pits the sweep engine's 1-worker sequential
+// baseline against the full GOMAXPROCS pool on a fig9 subsample (the
+// simulator-bound sparse sweep the engine exists for). On a
+// single-core host both run the same code path; on an N-core host the
+// parallel variant should approach N-fold speedup because the matrix
+// jobs are independent and the per-worker simulator pool removes all
+// shared mutable state.
+func BenchmarkSweepEngine(b *testing.B) {
+	opt := harness.Options{Stride: 48}
+	workers := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workers = append(workers, n)
+	}
+	for _, w := range workers {
+		o := opt
+		o.Workers = w
+		b.Run(fmt.Sprintf("fig9/workers=%d", w), func(b *testing.B) {
+			benchExperimentOpts(b, "fig9", o)
+		})
 	}
 }
 

@@ -1,16 +1,23 @@
 // Command opmbench reproduces the paper's tables and figures. Each
 // experiment renders its figure as text, prints headline findings, and
-// (with -out) writes CSV series suitable for replotting.
+// (with -out) writes CSV series suitable for replotting. Sweeps run on
+// the concurrent sweep engine; -workers bounds its pool and -timeout
+// aborts a run that exceeds its wall-clock budget.
 //
 // Usage:
 //
 //	opmbench -list
-//	opmbench -exp fig7            # one experiment
-//	opmbench -exp all -out results # everything, CSVs under results/
-//	opmbench -exp fig9 -full       # the complete 968-matrix sweep
+//	opmbench -exp fig7                  # one experiment
+//	opmbench -exp all -out results      # everything, CSVs under results/
+//	opmbench -exp fig9 -full            # the complete 968-matrix sweep
+//	opmbench -exp fig9 -workers 1       # sequential baseline
+//	opmbench -exp all -timeout 10m      # bound the whole run
+//	opmbench -exp fig9 -progress        # live done/total/ETA on stderr
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,16 +25,20 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment ID (see -list), or \"all\"")
-		full    = flag.Bool("full", false, "run the paper's complete sweeps (968 matrices, fine grids)")
-		out     = flag.String("out", "", "directory for CSV output")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		quiet   = flag.Bool("q", false, "suppress rendered figures (findings only)")
-		timeRun = flag.Bool("time", true, "print per-experiment wall time")
+		exp      = flag.String("exp", "", "experiment ID (see -list), or \"all\"")
+		full     = flag.Bool("full", false, "run the paper's complete sweeps (968 matrices, fine grids)")
+		out      = flag.String("out", "", "directory for CSV output")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		quiet    = flag.Bool("q", false, "suppress rendered figures (findings only)")
+		timeRun  = flag.Bool("time", true, "print per-experiment wall time")
+		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		timeout  = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
+		progress = flag.Bool("progress", false, "report sweep progress (done/total/ETA) on stderr")
 	)
 	flag.Parse()
 
@@ -53,7 +64,23 @@ func main() {
 	default:
 		ids = strings.Split(*exp, ",")
 	}
-	opt := harness.Options{Full: *full, OutDir: *out}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opt := harness.Options{Full: *full, OutDir: *out, Workers: *workers}
+	if *progress {
+		opt.Progress = func(p sweep.Progress) {
+			fmt.Fprintf(os.Stderr, "\rsweep %d/%d (eta %s)   ", p.Done, p.Total, p.ETA.Round(time.Second))
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
 	failed := false
 	for _, id := range ids {
 		e, err := harness.Get(strings.TrimSpace(id))
@@ -62,9 +89,13 @@ func main() {
 			os.Exit(2)
 		}
 		t0 := time.Now()
-		rep, err := e.Run(opt)
+		rep, err := e.Run(ctx, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "opmbench: %s failed: %v\n", e.ID, err)
+			if errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintln(os.Stderr, "opmbench: -timeout exceeded, stopping")
+				os.Exit(1)
+			}
 			failed = true
 			continue
 		}

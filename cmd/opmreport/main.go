@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,7 +37,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "opmreport:", err)
 			os.Exit(1)
 		}
-		rep, err := e.Run(opt)
+		rep, err := e.Run(context.Background(), opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "opmreport: %s: %v\n", id, err)
 			os.Exit(1)

@@ -7,11 +7,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/memsim"
 	"repro/internal/platform"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -66,6 +68,9 @@ func NewMachine(p *platform.Platform, mode memsim.Mode) (*Machine, error) {
 }
 
 // MustMachine is NewMachine that panics on error.
+//
+// Deprecated: retained for examples and tests. Library and harness
+// code should call NewMachine and surface the error.
 func MustMachine(p *platform.Platform, mode memsim.Mode) *Machine {
 	m, err := NewMachine(p, mode)
 	if err != nil {
@@ -111,6 +116,21 @@ func (m *Machine) Run(w trace.Workload) (memsim.Result, error) {
 	if err != nil {
 		return memsim.Result{}, err
 	}
+	return m.RunOn(sim, w)
+}
+
+// RunOn is Run on a caller-provided simulator, which is Reset first so
+// a pooled simulator reproduces a fresh one's behaviour exactly. The
+// simulator must have been built from this machine's configuration.
+func (m *Machine) RunOn(sim *memsim.Sim, w trace.Workload) (memsim.Result, error) {
+	if sim == nil {
+		return memsim.Result{}, fmt.Errorf("core: %s: nil simulator", m.Label())
+	}
+	if sim.Config() != m.cfg {
+		return memsim.Result{}, fmt.Errorf("core: simulator config %s/%s does not match machine %s",
+			sim.Config().Name, sim.Config().Mode, m.Label())
+	}
+	sim.Reset()
 	w.Simulate(sim)
 	props, err := m.props(w.Name(), w.Flops())
 	if err != nil {
@@ -128,7 +148,22 @@ func (m *Machine) Run(w trace.Workload) (memsim.Result, error) {
 	return memsim.Evaluate(&m.cfg, sim.Traffic(), props)
 }
 
+// PooledSim returns the sweep worker's reusable simulator for this
+// machine's configuration, building it on first use. Paired with
+// RunOn's Reset, one simulator per (worker, configuration) serves an
+// entire sweep without re-allocating cache arrays per cell.
+func (m *Machine) PooledSim(w *sweep.Worker) (*memsim.Sim, error) {
+	v, err := w.Get(m.cfg, func() (any, error) { return memsim.NewSim(m.cfg) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*memsim.Sim), nil
+}
+
 // MustRun is Run that panics on error.
+//
+// Deprecated: retained for examples and tests. Library and harness
+// code should call Run (or RunBatch) and surface the error.
 func (m *Machine) MustRun(w trace.Workload) memsim.Result {
 	r, err := m.Run(w)
 	if err != nil {
@@ -155,6 +190,9 @@ func (m *Machine) RunDense(kind trace.DenseKind, n, nb int) (memsim.Result, erro
 }
 
 // MustRunDense is RunDense that panics on error.
+//
+// Deprecated: retained for examples and tests. Library and harness
+// code should call RunDense (or RunDenseBatch) and surface the error.
 func (m *Machine) MustRunDense(kind trace.DenseKind, n, nb int) memsim.Result {
 	r, err := m.RunDense(kind, n, nb)
 	if err != nil {
@@ -165,10 +203,63 @@ func (m *Machine) MustRunDense(kind trace.DenseKind, n, nb int) memsim.Result {
 
 // Machines builds one Machine per supported mode of a platform, in
 // Table 1 order.
-func Machines(p *platform.Platform) []*Machine {
+func Machines(p *platform.Platform) ([]*Machine, error) {
 	out := make([]*Machine, 0, len(p.Modes))
 	for _, mode := range p.Modes {
-		out = append(out, MustMachine(p, mode))
+		m, err := NewMachine(p, mode)
+		if err != nil {
+			return nil, fmt.Errorf("core: machines for %s: %w", p.Name, err)
+		}
+		out = append(out, m)
 	}
-	return out
+	return out, nil
+}
+
+// Job is one trace-simulation cell of a batch sweep: a workload on a
+// machine. When one Workload value is shared between jobs it is only
+// read during Simulate, so the built-in trace generators are safe to
+// share; stateful custom workloads should be one-per-job.
+type Job struct {
+	Machine  *Machine
+	Workload trace.Workload
+}
+
+// DenseJob is one analytic dense-model cell of a batch sweep.
+type DenseJob struct {
+	Machine *Machine
+	Kind    trace.DenseKind
+	N, NB   int
+}
+
+// RunBatch executes trace-simulation jobs on the sweep engine and
+// returns their results in submission order. Each worker pools one
+// simulator per machine configuration; a failed job yields a zero
+// Result plus a sweep.JobError without stopping the sweep, and a
+// failure evicts that worker's pooled simulator so the next job
+// rebuilds it cold.
+func RunBatch(ctx context.Context, eng *sweep.Engine, jobs []Job) ([]memsim.Result, error) {
+	return sweep.Map(ctx, eng, jobs, func(_ context.Context, w *sweep.Worker, j Job) (memsim.Result, error) {
+		sim, err := j.Machine.PooledSim(w)
+		if err != nil {
+			return memsim.Result{}, err
+		}
+		r, err := j.Machine.RunOn(sim, j.Workload)
+		if err != nil {
+			w.Drop(j.Machine.cfg)
+			return memsim.Result{}, fmt.Errorf("core: %s on %s: %w", j.Workload.Name(), j.Machine.Label(), err)
+		}
+		return r, nil
+	})
+}
+
+// RunDenseBatch executes analytic dense-model jobs on the sweep engine
+// and returns their results in submission order.
+func RunDenseBatch(ctx context.Context, eng *sweep.Engine, jobs []DenseJob) ([]memsim.Result, error) {
+	return sweep.Map(ctx, eng, jobs, func(_ context.Context, _ *sweep.Worker, j DenseJob) (memsim.Result, error) {
+		r, err := j.Machine.RunDense(j.Kind, j.N, j.NB)
+		if err != nil {
+			return memsim.Result{}, fmt.Errorf("core: %s n=%d nb=%d on %s: %w", j.Kind, j.N, j.NB, j.Machine.Label(), err)
+		}
+		return r, nil
+	})
 }

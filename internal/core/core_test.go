@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/memsim"
 	"repro/internal/platform"
 	"repro/internal/sparse"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -44,7 +47,11 @@ func TestMachineConstruction(t *testing.T) {
 	if _, err := NewMachine(brd, memsim.ModeFlat); err == nil {
 		t.Fatal("unsupported mode accepted")
 	}
-	if got := len(Machines(platform.KNL())); got != 4 {
+	machines, err := Machines(platform.KNL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(machines); got != 4 {
 		t.Fatalf("KNL machines = %d, want 4", got)
 	}
 }
@@ -273,5 +280,156 @@ func TestRunDenseErrors(t *testing.T) {
 	m := MustMachine(platform.Broadwell(), memsim.ModeDDR)
 	if _, err := m.RunDense(trace.DenseGEMM, 0, 64); err == nil {
 		t.Fatal("zero order accepted")
+	}
+}
+
+// TestRunOnPooledSimMatchesRun proves the pooled-simulator path is
+// bit-identical to the allocate-per-run path across machines and
+// workloads — the invariant that lets sweeps reuse simulators.
+func TestRunOnPooledSimMatchesRun(t *testing.T) {
+	brd := platform.Broadwell()
+	machines, err := Machines(brd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := sparse.Collection()[40]
+	mat := spec.Instantiate(brd.Scale)
+	workloads := []trace.Workload{
+		trace.NewStream(brd.ScaledBytes(64 << 20)),
+		&trace.SpMV{M: mat},
+		trace.NewFFT(brd.ScaledBytes(32 << 20)),
+	}
+	for _, m := range machines {
+		sim, err := memsim.NewSim(m.Config())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workloads {
+			fresh, err := m.Run(w)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m.Label(), w.Name(), err)
+			}
+			pooled, err := m.RunOn(sim, w) // same sim reused across cells
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m.Label(), w.Name(), err)
+			}
+			if fresh != pooled {
+				t.Errorf("%s/%s: pooled sim diverged:\nfresh:  %+v\npooled: %+v",
+					m.Label(), w.Name(), fresh, pooled)
+			}
+		}
+	}
+}
+
+// TestRunOnRejectsMismatchedSim checks a simulator built for another
+// configuration is refused instead of silently producing wrong traffic.
+func TestRunOnRejectsMismatchedSim(t *testing.T) {
+	brd := platform.Broadwell()
+	ddr := MustMachine(brd, memsim.ModeDDR)
+	ed := MustMachine(brd, memsim.ModeEDRAM)
+	sim, err := memsim.NewSim(ddr.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ed.RunOn(sim, trace.NewStream(1<<20)); err == nil {
+		t.Fatal("mismatched simulator accepted")
+	}
+	if _, err := ed.RunOn(nil, trace.NewStream(1<<20)); err == nil {
+		t.Fatal("nil simulator accepted")
+	}
+}
+
+// TestRunBatchMatchesSequential proves the parallel batch produces the
+// sequential path's results in submission order, and that a failing
+// job is isolated without poisoning its worker's pooled simulator.
+func TestRunBatchMatchesSequential(t *testing.T) {
+	brd := platform.Broadwell()
+	machines, err := Machines(brd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []Job
+	for _, m := range machines {
+		for _, mb := range []int64{8, 32, 96} {
+			jobs = append(jobs, Job{Machine: m, Workload: trace.NewStream(brd.ScaledBytes(mb << 20))})
+		}
+	}
+	want := make([]memsim.Result, len(jobs))
+	for i, j := range jobs {
+		r, err := j.Machine.Run(j.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := RunBatch(context.Background(), &sweep.Engine{Workers: workers}, jobs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d job %d: %+v != %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunBatchIsolatesFailures injects a bad job between good ones on a
+// single worker: the good jobs must still match the sequential results
+// exactly (the pooled simulator was not poisoned), and the bad job must
+// surface as a sweep.JobError at its submission index.
+func TestRunBatchIsolatesFailures(t *testing.T) {
+	brd := platform.Broadwell()
+	m := MustMachine(brd, memsim.ModeEDRAM)
+	good := trace.NewStream(brd.ScaledBytes(64 << 20))
+	jobs := []Job{
+		{Machine: m, Workload: good},
+		{Machine: m, Workload: fakeWorkload{}}, // unknown kernel: props error after simulating
+		{Machine: m, Workload: good},
+	}
+	got, err := RunBatch(context.Background(), &sweep.Engine{Workers: 1}, jobs)
+	var errs sweep.Errors
+	if !errors.As(err, &errs) || len(errs) != 1 || errs[0].Index != 1 {
+		t.Fatalf("want one JobError at index 1, got %v", err)
+	}
+	want, err2 := m.Run(good)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if got[0] != want || got[2] != want {
+		t.Fatalf("failing job poisoned its worker's pooled sim: %+v / %+v vs %+v", got[0], got[2], want)
+	}
+	if got[1] != (memsim.Result{}) {
+		t.Fatalf("failed job should yield zero result, got %+v", got[1])
+	}
+}
+
+// TestRunDenseBatchMatchesSequential checks the analytic dense batch
+// against direct RunDense calls.
+func TestRunDenseBatchMatchesSequential(t *testing.T) {
+	knl := platform.KNL()
+	machines, err := Machines(knl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []DenseJob
+	for _, m := range machines {
+		for _, nb := range []int{256, 1024} {
+			jobs = append(jobs, DenseJob{Machine: m, Kind: trace.DenseGEMM, N: 8192, NB: nb})
+		}
+	}
+	got, err := RunDenseBatch(context.Background(), &sweep.Engine{Workers: 3}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		want, err := j.Machine.RunDense(j.Kind, j.N, j.NB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Fatalf("job %d: %+v != %+v", i, got[i], want)
+		}
 	}
 }

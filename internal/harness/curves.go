@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/memsim"
 	"repro/internal/platform"
 	"repro/internal/plot"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -58,39 +60,50 @@ type curvePoint struct {
 	GBs       map[memsim.Mode]float64 // app-level bandwidth (Stream figures)
 }
 
-// runCurves sweeps one kernel across footprints and modes.
-func runCurves(platName, kernel string, opt Options) ([]curvePoint, []*core.Machine, error) {
+// runCurves sweeps one kernel across footprints and modes on the sweep
+// engine: one job per footprint point, each driving every mode through
+// its worker's pooled simulators.
+func runCurves(ctx context.Context, platName, kernel string, opt Options) ([]curvePoint, []*core.Machine, error) {
 	base, opms, plat, err := machineSet(platName)
 	if err != nil {
 		return nil, nil, err
 	}
 	machines := append([]*core.Machine{base}, opms...)
-	var pts []curvePoint
-	for _, fp := range curveFootprints(plat, opt) {
-		simFP := plat.ScaledBytes(fp)
-		if simFP < 4096 {
-			simFP = 4096
-		}
-		w, err := curveWorkload(kernel, simFP, plat.Scale)
-		if err != nil {
-			return nil, nil, err
-		}
-		pt := curvePoint{
-			GFlops: map[memsim.Mode]float64{},
-			GBs:    map[memsim.Mode]float64{},
-		}
-		for _, mach := range machines {
-			r, err := mach.Run(w)
-			if err != nil {
-				return nil, nil, err
+	pts, err := sweep.Map(ctx, opt.engine(), curveFootprints(plat, opt),
+		func(_ context.Context, w *sweep.Worker, fp int64) (curvePoint, error) {
+			simFP := plat.ScaledBytes(fp)
+			if simFP < 4096 {
+				simFP = 4096
 			}
-			pt.GFlops[mach.Mode] = r.GFlops
-			// App-level bandwidth by the paper's byte accounting:
-			// bytes = flops / AI, AI = flops/bytes of Table 2.
-			pt.GBs[mach.Mode] = appGBs(kernel, w, r)
-			pt.Footprint = r.FootprintBytes
-		}
-		pts = append(pts, pt)
+			wl, err := curveWorkload(kernel, simFP, plat.Scale)
+			if err != nil {
+				return curvePoint{}, err
+			}
+			pt := curvePoint{
+				GFlops: map[memsim.Mode]float64{},
+				GBs:    map[memsim.Mode]float64{},
+			}
+			for _, mach := range machines {
+				sim, err := mach.PooledSim(w)
+				if err != nil {
+					return curvePoint{}, err
+				}
+				r, err := mach.RunOn(sim, wl)
+				if err != nil {
+					return curvePoint{}, fmt.Errorf("%s at %d MB on %s: %w", kernel, fp>>20, mach.Label(), err)
+				}
+				pt.GFlops[mach.Mode] = r.GFlops
+				// App-level bandwidth by the paper's byte accounting:
+				// bytes = flops / AI, AI = flops/bytes of Table 2.
+				pt.GBs[mach.Mode] = appGBs(kernel, wl, r)
+				pt.Footprint = r.FootprintBytes
+			}
+			return pt, nil
+		})
+	if err != nil {
+		// Curve points are few and equally weighted; a hole would warp
+		// the plateau comparison, so any failure aborts the figure.
+		return nil, nil, err
 	}
 	return pts, machines, nil
 }
@@ -118,9 +131,9 @@ func appGBs(kernel string, w trace.Workload, r memsim.Result) float64 {
 }
 
 // curveRunner builds Figures 12–14 and 23–25.
-func curveRunner(platName, kernel string) func(Options) (*Report, error) {
-	return func(opt Options) (*Report, error) {
-		pts, machines, err := runCurves(platName, kernel, opt)
+func curveRunner(platName, kernel string) func(context.Context, Options) (*Report, error) {
+	return func(ctx context.Context, opt Options) (*Report, error) {
+		pts, machines, err := runCurves(ctx, platName, kernel, opt)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -46,9 +47,13 @@ func denseKind(kernel string) (trace.DenseKind, error) {
 }
 
 // denseHeatmapRunner builds Figures 7/8 (Broadwell) and 15/16 (KNL):
-// one (block × order) GFlop/s heat map per memory mode.
-func denseHeatmapRunner(platName, kernel string) func(Options) (*Report, error) {
-	return func(opt Options) (*Report, error) {
+// one (block × order) GFlop/s heat map per memory mode. The grid cells
+// are submitted to the sweep engine machine-by-machine in row-major
+// (block, order) order; results come back in submission order, so the
+// assembled heat maps are byte-identical to the sequential nest they
+// replace.
+func denseHeatmapRunner(platName, kernel string) func(context.Context, Options) (*Report, error) {
+	return func(ctx context.Context, opt Options) (*Report, error) {
 		kind, err := denseKind(kernel)
 		if err != nil {
 			return nil, err
@@ -60,8 +65,24 @@ func denseHeatmapRunner(platName, kernel string) func(Options) (*Report, error) 
 		machines := append([]*core.Machine{base}, opms...)
 		orders, blocks := denseGrid(plat, opt.Full)
 
+		var jobs []core.DenseJob
+		for _, m := range machines {
+			for _, nb := range blocks {
+				for _, n := range orders {
+					jobs = append(jobs, core.DenseJob{Machine: m, Kind: kind, N: n, NB: nb})
+				}
+			}
+		}
+		results, err := core.RunDenseBatch(ctx, opt.engine(), jobs)
+		if err != nil {
+			// Dense cells fail only for systematic reasons (bad grid or
+			// tuning), so any failure aborts the heat map.
+			return nil, err
+		}
+
 		rep := &Report{CSV: map[string][]string{}}
 		var b strings.Builder
+		idx := 0
 		for _, m := range machines {
 			grid := make([][]float64, len(blocks))
 			csv := []string{csvLine("order", "block", "gflops", "bound")}
@@ -70,10 +91,8 @@ func denseHeatmapRunner(platName, kernel string) func(Options) (*Report, error) 
 			for bi, nb := range blocks {
 				grid[bi] = make([]float64, len(orders))
 				for oi, n := range orders {
-					r, err := m.RunDense(kind, n, nb)
-					if err != nil {
-						return nil, err
-					}
+					r := results[idx]
+					idx++
 					grid[bi][oi] = r.GFlops
 					if r.GFlops > peak {
 						peak, peakN, peakNB = r.GFlops, n, nb

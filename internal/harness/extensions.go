@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/memsim"
 	"repro/internal/platform"
 	"repro/internal/plot"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -39,8 +41,11 @@ func extensionExperiments() []Experiment {
 	}
 }
 
-// runExtSkylake sweeps a triad across both eDRAM arrangements.
-func runExtSkylake(opt Options) (*Report, error) {
+// runExtSkylake sweeps a triad across both eDRAM arrangements. The
+// footprint points are independent, so they run on the sweep engine
+// (one job per footprint, three arrangements each) and are assembled
+// in footprint order.
+func runExtSkylake(ctx context.Context, opt Options) (*Report, error) {
 	rep := &Report{CSV: map[string][]string{}}
 	brd := platform.Broadwell()
 	sky := platform.Skylake()
@@ -62,6 +67,32 @@ func runExtSkylake(opt Options) (*Report, error) {
 		points = opt.CurvePoints
 	}
 	fps := logSpace(1<<20, 1<<30, points)
+	type triple struct{ ddr, victim, memside float64 }
+	triples, err := sweep.Map(ctx, opt.engine(), fps,
+		func(_ context.Context, sw *sweep.Worker, fp int64) (triple, error) {
+			w := trace.NewStream(brd.ScaledBytes(fp))
+			appB := 32.0 / 2.0 * w.Flops()
+			var t triple
+			for _, leg := range []struct {
+				m   *core.Machine
+				out *float64
+			}{{mDDR, &t.ddr}, {mBrd, &t.victim}, {mSky, &t.memside}} {
+				sim, err := leg.m.PooledSim(sw)
+				if err != nil {
+					return triple{}, err
+				}
+				r, err := leg.m.RunOn(sim, w)
+				if err != nil {
+					return triple{}, fmt.Errorf("triad at %d MB on %s: %w", fp>>20, leg.m.Label(), err)
+				}
+				*leg.out = appB / r.Seconds / 1e9
+			}
+			return t, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	series := map[string]*plot.Series{
 		"ddr":        {Name: "no eDRAM"},
 		"victim":     {Name: "CPU-side victim (BRD)"},
@@ -74,26 +105,12 @@ func runExtSkylake(opt Options) (*Report, error) {
 		csv = append(csv, csvLine(f(float64(fp)/(1<<20)), key, f(gbs)))
 	}
 	var vSum, mSum float64
-	for _, fp := range fps {
-		w := trace.NewStream(brd.ScaledBytes(fp))
-		rd, err := mDDR.Run(w)
-		if err != nil {
-			return nil, err
-		}
-		rv, err := mBrd.Run(w)
-		if err != nil {
-			return nil, err
-		}
-		rm, err := mSky.Run(w)
-		if err != nil {
-			return nil, err
-		}
-		appB := 32.0 / 2.0 * w.Flops()
-		add("ddr", fp, appB/rd.Seconds/1e9)
-		add("victim", fp, appB/rv.Seconds/1e9)
-		add("memoryside", fp, appB/rm.Seconds/1e9)
-		vSum += appB / rv.Seconds / 1e9
-		mSum += appB / rm.Seconds / 1e9
+	for i, fp := range fps {
+		add("ddr", fp, triples[i].ddr)
+		add("victim", fp, triples[i].victim)
+		add("memoryside", fp, triples[i].memside)
+		vSum += triples[i].victim
+		mSum += triples[i].memside
 	}
 	var b strings.Builder
 	b.WriteString(plot.Lines("eDRAM arrangement: victim (CPU-side) vs memory-side, STREAM GB/s vs footprint (MB)",
@@ -110,40 +127,57 @@ func runExtSkylake(opt Options) (*Report, error) {
 }
 
 // runExtMultiuser measures interference when two triad tenants share
-// the eDRAM and MCDRAM.
-func runExtMultiuser(Options) (*Report, error) {
+// the eDRAM and MCDRAM. The four tenant scenarios are independent
+// jobs; each drives its solo and co-scheduled runs on its worker's
+// pooled simulator.
+func runExtMultiuser(ctx context.Context, opt Options) (*Report, error) {
 	rep := &Report{CSV: map[string][]string{}}
 	var b strings.Builder
 	csv := []string{csvLine("platform", "mode", "tenant_fp_mb", "isolated_gbs", "shared_gbs", "interference")}
-	for _, tc := range []struct {
+	type scenario struct {
 		plat *platform.Platform
 		mode memsim.Mode
 		fp   int64 // per-tenant paper footprint
-	}{
+	}
+	cases := []scenario{
 		{platform.Broadwell(), memsim.ModeEDRAM, 48 << 20}, // 2x48MB < 128MB: both fit
 		{platform.Broadwell(), memsim.ModeEDRAM, 96 << 20}, // 2x96MB > 128MB: contended
 		{platform.KNL(), memsim.ModeCache, 4 << 30},        // 2x4GB < 16GB
 		{platform.KNL(), memsim.ModeCache, 12 << 30},       // 2x12GB > 16GB
-	} {
-		m, err := core.NewMachine(tc.plat, tc.mode)
-		if err != nil {
-			return nil, err
-		}
-		simFP := tc.plat.ScaledBytes(tc.fp)
-		solo := trace.NewStream(simFP)
-		rSolo, err := m.Run(solo)
-		if err != nil {
-			return nil, err
-		}
-		soloGBs := 32.0 / 2.0 * solo.Flops() / rSolo.Seconds / 1e9
-
-		co := trace.NewCoStream(simFP, simFP)
-		rCo, err := m.Run(co)
-		if err != nil {
-			return nil, err
-		}
-		// Each tenant gets half the shared run's service.
-		perTenant := 32.0 / 2.0 * co.Flops() / 2 / rCo.Seconds / 1e9
+	}
+	type tenancy struct{ solo, shared float64 }
+	outcomes, err := sweep.Map(ctx, opt.engine(), cases,
+		func(_ context.Context, w *sweep.Worker, tc scenario) (tenancy, error) {
+			m, err := core.NewMachine(tc.plat, tc.mode)
+			if err != nil {
+				return tenancy{}, err
+			}
+			sim, err := m.PooledSim(w)
+			if err != nil {
+				return tenancy{}, err
+			}
+			simFP := tc.plat.ScaledBytes(tc.fp)
+			solo := trace.NewStream(simFP)
+			rSolo, err := m.RunOn(sim, solo)
+			if err != nil {
+				return tenancy{}, err
+			}
+			co := trace.NewCoStream(simFP, simFP)
+			rCo, err := m.RunOn(sim, co)
+			if err != nil {
+				return tenancy{}, err
+			}
+			// Each tenant gets half the shared run's service.
+			return tenancy{
+				solo:   32.0 / 2.0 * solo.Flops() / rSolo.Seconds / 1e9,
+				shared: 32.0 / 2.0 * co.Flops() / 2 / rCo.Seconds / 1e9,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, tc := range cases {
+		soloGBs, perTenant := outcomes[i].solo, outcomes[i].shared
 		interference := soloGBs / perTenant
 		fmt.Fprintf(&b, "%-10s %-7s tenant %4d MB: isolated %6.1f GB/s, shared %6.1f GB/s -> %.2fx slowdown\n",
 			tc.plat.Name, tc.mode, tc.fp>>20, soloGBs, perTenant, interference)
@@ -164,7 +198,7 @@ func runExtMultiuser(Options) (*Report, error) {
 // runAblations switches off one model mechanism at a time and reports
 // which paper phenomenon disappears — the evidence that each mechanism
 // is load-bearing (DESIGN.md §6).
-func runAblations(Options) (*Report, error) {
+func runAblations(_ context.Context, _ Options) (*Report, error) {
 	rep := &Report{CSV: map[string][]string{}}
 	var b strings.Builder
 	csv := []string{csvLine("ablation", "metric", "with", "without")}
@@ -173,7 +207,10 @@ func runAblations(Options) (*Report, error) {
 	brd := platform.Broadwell()
 	valleyFP := brd.ScaledBytes(10 << 20)
 	w := trace.NewStream(valleyFP)
-	cfg := brd.MustConfig(memsim.ModeDDR)
+	cfg, err := brd.Config(memsim.ModeDDR)
+	if err != nil {
+		return nil, err
+	}
 	run := func(cfg memsim.Config) (memsim.Result, error) {
 		sim, err := memsim.NewSim(cfg)
 		if err != nil {
@@ -201,7 +238,10 @@ func runAblations(Options) (*Report, error) {
 	// 2. Split penalty off -> flat mode no longer collapses past 16GB.
 	knl := platform.KNL()
 	big := trace.NewStream(knl.ScaledBytes(24 << 30))
-	flatCfg := knl.MustConfig(memsim.ModeFlat)
+	flatCfg, err := knl.Config(memsim.ModeFlat)
+	if err != nil {
+		return nil, err
+	}
 	runK := func(cfg memsim.Config) (memsim.Result, error) {
 		sim, err := memsim.NewSim(cfg)
 		if err != nil {
@@ -228,7 +268,10 @@ func runAblations(Options) (*Report, error) {
 
 	// 3. MCDRAM tag overhead off -> cache mode catches up to flat.
 	resident := trace.NewStream(knl.ScaledBytes(2 << 30))
-	cacheCfg := knl.MustConfig(memsim.ModeCache)
+	cacheCfg, err := knl.Config(memsim.ModeCache)
+	if err != nil {
+		return nil, err
+	}
 	simC, err := memsim.NewSim(cacheCfg)
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -15,9 +16,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/memsim"
 	"repro/internal/platform"
+	"repro/internal/sweep"
 )
 
-// Options controls experiment scale and output.
+// Options controls experiment scale, parallelism and output.
 type Options struct {
 	// Full selects the paper's complete sweeps (968 matrices, fine
 	// heat-map grids). The default quick mode subsamples them to keep
@@ -34,6 +36,18 @@ type Options struct {
 	// MaxPaperFootprint, when positive, drops sparse-suite matrices
 	// larger than this many bytes at paper scale (tests use it).
 	MaxPaperFootprint int64
+	// Workers bounds the sweep engine's worker pool (0 = GOMAXPROCS,
+	// 1 = the sequential baseline the equivalence tests compare
+	// against).
+	Workers int
+	// Progress, when non-nil, receives live sweep advancement
+	// (opmbench -progress wires it to stderr).
+	Progress func(sweep.Progress)
+}
+
+// engine builds the sweep engine the option set describes.
+func (o Options) engine() *sweep.Engine {
+	return &sweep.Engine{Workers: o.Workers, Progress: o.Progress}
 }
 
 // Report is the outcome of one experiment.
@@ -45,11 +59,12 @@ type Report struct {
 	Findings []string            // headline paper-vs-measured notes
 }
 
-// Experiment is one reproducible table or figure.
+// Experiment is one reproducible table or figure. Run's context
+// cancels or times out the experiment's sweeps mid-flight.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(opt Options) (*Report, error)
+	Run   func(ctx context.Context, opt Options) (*Report, error)
 }
 
 // Registry returns all experiments in paper order.
@@ -170,6 +185,14 @@ func machineSet(platName string) (base *core.Machine, opm []*core.Machine, plat 
 		}
 	}
 	return base, opm, plat, nil
+}
+
+// sweepWarning surfaces survivable per-job sweep failures (dropped
+// cells) as a report finding so a truncated sweep is never silent.
+func sweepWarning(rep *Report, errs sweep.Errors) {
+	if len(errs) > 0 {
+		rep.Findings = append(rep.Findings, "WARNING: "+errs.Error())
+	}
 }
 
 func csvLine(fields ...string) string { return strings.Join(fields, ",") }

@@ -1,10 +1,13 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // tiny makes every experiment fast enough for unit tests.
@@ -60,7 +63,7 @@ func TestModelExperiments(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep, err := e.Run(tiny)
+		rep, err := e.Run(context.Background(), tiny)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -72,7 +75,7 @@ func TestModelExperiments(t *testing.T) {
 
 func TestFig1DensityImproves(t *testing.T) {
 	e, _ := Get("fig1")
-	rep, err := e.Run(tiny)
+	rep, err := e.Run(context.Background(), tiny)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +93,7 @@ func TestFig1DensityImproves(t *testing.T) {
 func TestDenseHeatmaps(t *testing.T) {
 	for _, id := range []string{"fig7", "fig15"} {
 		e, _ := Get(id)
-		rep, err := e.Run(tiny)
+		rep, err := e.Run(context.Background(), tiny)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -110,7 +113,7 @@ func TestDenseHeatmaps(t *testing.T) {
 
 func TestSparseExperimentTiny(t *testing.T) {
 	e, _ := Get("fig9")
-	rep, err := e.Run(tiny)
+	rep, err := e.Run(context.Background(), tiny)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +127,7 @@ func TestSparseExperimentTiny(t *testing.T) {
 
 func TestCurveExperimentTiny(t *testing.T) {
 	e, _ := Get("fig12")
-	rep, err := e.Run(tiny)
+	rep, err := e.Run(context.Background(), tiny)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +138,7 @@ func TestCurveExperimentTiny(t *testing.T) {
 
 func TestPowerExperimentTiny(t *testing.T) {
 	e, _ := Get("fig26")
-	rep, err := e.Run(tiny)
+	rep, err := e.Run(context.Background(), tiny)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +154,7 @@ func TestPowerExperimentTiny(t *testing.T) {
 func TestTablesTiny(t *testing.T) {
 	for _, id := range []string{"table4", "table5"} {
 		e, _ := Get(id)
-		rep, err := e.Run(tiny)
+		rep, err := e.Run(context.Background(), tiny)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -237,7 +240,7 @@ func TestExtensionExperiments(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep, err := e.Run(tiny)
+		rep, err := e.Run(context.Background(), tiny)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -260,7 +263,7 @@ func TestAblationFindingsShowMechanisms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.Run(tiny)
+	rep, err := e.Run(context.Background(), tiny)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,5 +272,79 @@ func TestAblationFindingsShowMechanisms(t *testing.T) {
 	}
 	if strings.Contains(rep.Text, "ABSENT") {
 		t.Fatalf("a load-bearing mechanism is missing:\n%s", rep.Text)
+	}
+}
+
+// TestParallelMatchesSequential is the engine's determinism contract
+// at the harness level: a parallel run must render byte-identical
+// reports (text, CSV, findings) to the 1-worker sequential baseline
+// for both a simulator-driven sparse sweep and an analytic dense one.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, id := range []string{"fig9", "fig7"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqOpt, parOpt := tiny, tiny
+		seqOpt.Workers = 1
+		parOpt.Workers = 4
+		seq, err := e.Run(context.Background(), seqOpt)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", id, err)
+		}
+		par, err := e.Run(context.Background(), parOpt)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if seq.Text != par.Text {
+			t.Errorf("%s: parallel text differs from sequential", id)
+		}
+		if len(seq.CSV) != len(par.CSV) {
+			t.Fatalf("%s: CSV count %d vs %d", id, len(par.CSV), len(seq.CSV))
+		}
+		for name, lines := range seq.CSV {
+			if strings.Join(par.CSV[name], "\n") != strings.Join(lines, "\n") {
+				t.Errorf("%s: CSV %s differs between parallel and sequential", id, name)
+			}
+		}
+		if strings.Join(seq.Findings, "\n") != strings.Join(par.Findings, "\n") {
+			t.Errorf("%s: findings differ:\nseq: %v\npar: %v", id, seq.Findings, par.Findings)
+		}
+	}
+}
+
+// TestRunHonorsCancellation aborts a sparse sweep mid-flight and
+// expects a prompt context.Canceled, not a completed report.
+func TestRunHonorsCancellation(t *testing.T) {
+	e, err := Get("fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t0 := time.Now()
+	rep, err := e.Run(ctx, tiny)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep != nil {
+		t.Fatal("cancelled run still produced a report")
+	}
+	if d := time.Since(t0); d > 30*time.Second {
+		t.Fatalf("cancelled run took %s", d)
+	}
+}
+
+// TestRunHonorsTimeout exercises the deadline path the opmbench
+// -timeout flag uses.
+func TestRunHonorsTimeout(t *testing.T) {
+	e, err := Get("fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	if _, err := e.Run(ctx, tiny); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
 }

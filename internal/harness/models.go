@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -16,7 +17,7 @@ import (
 )
 
 // runTable2 renders Table 2 and the Figure 4 AI spectrum.
-func runTable2(Options) (*Report, error) {
+func runTable2(_ context.Context, _ Options) (*Report, error) {
 	rep := &Report{ID: "table2", Title: "Table 2 / Fig 4", CSV: map[string][]string{}}
 	var b strings.Builder
 	b.WriteString("Table 2: Scientific kernel characteristics (n=1024, nnz=1024, M=32)\n")
@@ -53,7 +54,7 @@ func runTable2(Options) (*Report, error) {
 
 // runFig5 renders the roofline for both platforms with and without the
 // OPM bandwidth ceiling.
-func runFig5(Options) (*Report, error) {
+func runFig5(_ context.Context, _ Options) (*Report, error) {
 	rep := &Report{ID: "fig5", Title: "Fig 5", CSV: map[string][]string{}}
 	var b strings.Builder
 	for _, p := range platform.All() {
@@ -86,8 +87,12 @@ func runFig5(Options) (*Report, error) {
 
 // steppingLevels builds the analytic level stack of a platform+mode
 // (paper-scale capacities).
-func steppingLevels(p *platform.Platform, mode memsim.Mode) []stepping.Level {
-	cfg := trace.UnscaledConfig(p.MustConfig(mode))
+func steppingLevels(p *platform.Platform, mode memsim.Mode) ([]stepping.Level, error) {
+	scaled, err := p.Config(mode)
+	if err != nil {
+		return nil, fmt.Errorf("stepping levels for %s/%s: %w", p.Name, mode, err)
+	}
+	cfg := trace.UnscaledConfig(scaled)
 	var ls []stepping.Level
 	ls = append(ls, stepping.Level{Name: "L2", Cap: cfg.L2.Size,
 		BWGBs: cfg.Links[memsim.SrcL2].BWGBs, LatNS: cfg.Links[memsim.SrcL2].LatNS})
@@ -108,7 +113,7 @@ func steppingLevels(p *platform.Platform, mode memsim.Mode) []stepping.Level {
 	}
 	ls = append(ls, stepping.Level{Name: "DDR", Cap: 0,
 		BWGBs: cfg.Links[memsim.SrcDDR].BWGBs, LatNS: cfg.Links[memsim.SrcDDR].LatNS})
-	return ls
+	return ls, nil
 }
 
 func steppingStream(peak float64) stepping.Kernel {
@@ -117,7 +122,7 @@ func steppingStream(peak float64) stepping.Kernel {
 
 // runFig6 renders the illustrative Stepping model: one cache level
 // (panel A) and two cache levels (panel B).
-func runFig6(Options) (*Report, error) {
+func runFig6(_ context.Context, _ Options) (*Report, error) {
 	rep := &Report{ID: "fig6", Title: "Fig 6", CSV: map[string][]string{}}
 	k := steppingStream(100)
 	oneLevel := []stepping.Level{
@@ -129,8 +134,14 @@ func runFig6(Options) (*Report, error) {
 		{Name: "L3", Cap: 8 << 20, BWGBs: 150, LatNS: 12},
 		{Name: "mem", Cap: 0, BWGBs: 20, LatNS: 90},
 	}
-	a := stepping.MustModel("one cache", oneLevel, k, 1<<18, 1<<30, 64)
-	bCurve := stepping.MustModel("two caches", twoLevel, k, 1<<18, 1<<30, 64)
+	a, err := stepping.Model("one cache", oneLevel, k, 1<<18, 1<<30, 64)
+	if err != nil {
+		return nil, fmt.Errorf("fig6 one-cache curve: %w", err)
+	}
+	bCurve, err := stepping.Model("two caches", twoLevel, k, 1<<18, 1<<30, 64)
+	if err != nil {
+		return nil, fmt.Errorf("fig6 two-cache curve: %w", err)
+	}
 	var sb strings.Builder
 	sb.WriteString(plot.Lines("Fig 6(A): cache peak, valley, memory plateau",
 		[]plot.Series{curveSeries(a)}, 64, 12, true))
@@ -165,7 +176,7 @@ func curveCSV(curves map[string]stepping.Curve) []string {
 
 // runFig1 samples the Broadwell GEMM (order, block) grid with and
 // without eDRAM and estimates the density of achievable GFlop/s.
-func runFig1(opt Options) (*Report, error) {
+func runFig1(ctx context.Context, opt Options) (*Report, error) {
 	rep := &Report{ID: "fig1", Title: "Fig 1", CSV: map[string][]string{}}
 	brd := platform.Broadwell()
 	orders, blocks := denseGrid(brd, opt.Full)
@@ -174,15 +185,19 @@ func runFig1(opt Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		var vals []float64
+		var jobs []core.DenseJob
 		for _, n := range orders {
 			for _, nb := range blocks {
-				r, err := m.RunDense(trace.DenseGEMM, n, nb)
-				if err != nil {
-					return nil, err
-				}
-				vals = append(vals, r.GFlops)
+				jobs = append(jobs, core.DenseJob{Machine: m, Kind: trace.DenseGEMM, N: n, NB: nb})
 			}
+		}
+		results, err := core.RunDenseBatch(ctx, opt.engine(), jobs)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float64, len(results))
+		for i, r := range results {
+			vals[i] = r.GFlops
 		}
 		return vals, nil
 	}
@@ -224,12 +239,26 @@ func runFig1(opt Options) (*Report, error) {
 }
 
 // runFig28 renders the eDRAM tuning curves with PER/EER regions.
-func runFig28(Options) (*Report, error) {
+func runFig28(_ context.Context, _ Options) (*Report, error) {
 	rep := &Report{ID: "fig28", Title: "Fig 28", CSV: map[string][]string{}}
 	brd := platform.Broadwell()
 	k := steppingStream(200)
-	with := stepping.MustModel("w/ eDRAM", steppingLevels(brd, memsim.ModeEDRAM), k, 1<<20, 2<<30, 128)
-	without := stepping.MustModel("w/o eDRAM", steppingLevels(brd, memsim.ModeDDR), k, 1<<20, 2<<30, 128)
+	edramLevels, err := steppingLevels(brd, memsim.ModeEDRAM)
+	if err != nil {
+		return nil, err
+	}
+	ddrLevels, err := steppingLevels(brd, memsim.ModeDDR)
+	if err != nil {
+		return nil, err
+	}
+	with, err := stepping.Model("w/ eDRAM", edramLevels, k, 1<<20, 2<<30, 128)
+	if err != nil {
+		return nil, fmt.Errorf("fig28 eDRAM curve: %w", err)
+	}
+	without, err := stepping.Model("w/o eDRAM", ddrLevels, k, 1<<20, 2<<30, 128)
+	if err != nil {
+		return nil, fmt.Errorf("fig28 DDR curve: %w", err)
+	}
 	perLo, perHi, _ := stepping.EffectiveRegion(with, without, 1.0001)
 	// Eq. 1: Broadwell eDRAM adds ~8.6% power, so the energy-effective
 	// region needs >8.6% speedup.
@@ -248,22 +277,41 @@ func runFig28(Options) (*Report, error) {
 }
 
 // runFig29 renders the MCDRAM mode guideline curves.
-func runFig29(Options) (*Report, error) {
+func runFig29(_ context.Context, _ Options) (*Report, error) {
 	rep := &Report{ID: "fig29", Title: "Fig 29", CSV: map[string][]string{}}
 	knl := platform.KNL()
 	k := steppingStream(800)
 	minFP, maxFP := int64(1<<22), int64(64)<<30
-	curves := map[string]stepping.Curve{
-		"ddr":   stepping.MustModel("w/o MCDRAM", steppingLevels(knl, memsim.ModeDDR), k, minFP, maxFP, 128),
-		"cache": stepping.MustModel("cache", steppingLevels(knl, memsim.ModeCache), k, minFP, maxFP, 128),
+	levelsFor := func(mode memsim.Mode) ([]stepping.Level, error) { return steppingLevels(knl, mode) }
+	curves := map[string]stepping.Curve{}
+	for name, mode := range map[string]memsim.Mode{
+		"ddr": memsim.ModeDDR, "cache": memsim.ModeCache, "hybrid": memsim.ModeHybrid,
+	} {
+		ls, err := levelsFor(mode)
+		if err != nil {
+			return nil, err
+		}
+		label := map[string]string{"ddr": "w/o MCDRAM", "cache": "cache", "hybrid": "hybrid"}[name]
+		c, err := stepping.Model(label, ls, k, minFP, maxFP, 128)
+		if err != nil {
+			return nil, fmt.Errorf("fig29 %s curve: %w", name, err)
+		}
+		curves[name] = c
 	}
 	// Flat mode: MCDRAM is memory while resident, split pathology past
 	// capacity. Model as MCDRAM-memory below 16GB, penalized beyond.
+	ddrLevels, err := levelsFor(memsim.ModeDDR)
+	if err != nil {
+		return nil, err
+	}
 	flatLevels := []stepping.Level{
-		steppingLevels(knl, memsim.ModeDDR)[0],
+		ddrLevels[0],
 		{Name: "MCDRAM", Cap: 0, BWGBs: 450, LatNS: 155},
 	}
-	flat := stepping.MustModel("flat", flatLevels, k, minFP, maxFP, 128)
+	flat, err := stepping.Model("flat", flatLevels, k, minFP, maxFP, 128)
+	if err != nil {
+		return nil, fmt.Errorf("fig29 flat curve: %w", err)
+	}
 	for i := range flat.Points {
 		if flat.Points[i].Footprint > 16<<30 {
 			flat.Points[i].GFlops /= 6 // split-allocation pathology
@@ -272,7 +320,6 @@ func runFig29(Options) (*Report, error) {
 		}
 	}
 	curves["flat"] = flat
-	curves["hybrid"] = stepping.MustModel("hybrid", steppingLevels(knl, memsim.ModeHybrid), k, minFP, maxFP, 128)
 	var b strings.Builder
 	b.WriteString(plot.Lines("Fig 29: MCDRAM tuning via Stepping model (Stream-like kernel)",
 		[]plot.Series{
@@ -290,16 +337,29 @@ func runFig29(Options) (*Report, error) {
 
 // runFig30 renders the hardware what-ifs: scaling OPM capacity and
 // bandwidth.
-func runFig30(Options) (*Report, error) {
+func runFig30(_ context.Context, _ Options) (*Report, error) {
 	rep := &Report{ID: "fig30", Title: "Fig 30", CSV: map[string][]string{}}
 	brd := platform.Broadwell()
 	k := steppingStream(200)
-	base := steppingLevels(brd, memsim.ModeEDRAM)
+	base, err := steppingLevels(brd, memsim.ModeEDRAM)
+	if err != nil {
+		return nil, err
+	}
 	minFP, maxFP := int64(1<<20), int64(4)<<30
-	curves := map[string]stepping.Curve{
-		"base": stepping.MustModel("eDRAM 128MB/72GBs", base, k, minFP, maxFP, 128),
-		"cap2": stepping.MustModel("2x capacity", stepping.ScaleCapacity(base, "eDRAM", 2), k, minFP, maxFP, 128),
-		"bw2":  stepping.MustModel("2x bandwidth", stepping.ScaleBandwidth(base, "eDRAM", 2), k, minFP, maxFP, 128),
+	curves := map[string]stepping.Curve{}
+	for _, v := range []struct {
+		key, label string
+		levels     []stepping.Level
+	}{
+		{"base", "eDRAM 128MB/72GBs", base},
+		{"cap2", "2x capacity", stepping.ScaleCapacity(base, "eDRAM", 2)},
+		{"bw2", "2x bandwidth", stepping.ScaleBandwidth(base, "eDRAM", 2)},
+	} {
+		c, err := stepping.Model(v.label, v.levels, k, minFP, maxFP, 128)
+		if err != nil {
+			return nil, fmt.Errorf("fig30 %s curve: %w", v.key, err)
+		}
+		curves[v.key] = c
 	}
 	var b strings.Builder
 	b.WriteString(plot.Lines("Fig 30: tuning eDRAM hardware for throughput",

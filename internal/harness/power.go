@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,13 +9,16 @@ import (
 	"repro/internal/plot"
 	"repro/internal/power"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // powerRunner builds Figures 26 (Broadwell) and 27 (KNL): per-kernel
 // package and DRAM power with and without the OPM, the geometric-mean
-// bars, and the Eq. 1 break-even statement.
-func powerRunner(platName string) func(Options) (*Report, error) {
-	return func(opt Options) (*Report, error) {
+// bars, and the Eq. 1 break-even statement. The per-kernel baseline/OPM
+// run pairs are independent, so they go through the sweep engine (one
+// job per kernel) and are assembled in kernel order.
+func powerRunner(platName string) func(context.Context, Options) (*Report, error) {
+	return func(ctx context.Context, opt Options) (*Report, error) {
 		base, opms, _, err := machineSet(platName)
 		if err != nil {
 			return nil, err
@@ -32,23 +36,35 @@ func powerRunner(platName string) func(Options) (*Report, error) {
 			return nil, err
 		}
 
+		type pair struct{ rb, ro memsim.Result }
+		pairs, err := sweep.Map(ctx, opt.engine(), kernelOrder,
+			func(_ context.Context, _ *sweep.Worker, kernel string) (pair, error) {
+				run, err := representativeWorkload(platName, kernel)
+				if err != nil {
+					return pair{}, err
+				}
+				rb, err := run(base)
+				if err != nil {
+					return pair{}, fmt.Errorf("%s baseline: %w", kernel, err)
+				}
+				ro, err := run(opm)
+				if err != nil {
+					return pair{}, fmt.Errorf("%s %s: %w", kernel, opm.Mode, err)
+				}
+				return pair{rb, ro}, nil
+			})
+		if err != nil {
+			// Every kernel row feeds the geometric mean; a hole would
+			// shift it, so any failure aborts the figure.
+			return nil, err
+		}
+
 		var labels []string
 		var pkgBase, pkgOPM, dramBase, dramOPM []float64
 		var speedups []float64
 		csv := []string{csvLine("kernel", "mode", "pkg_w", "dram_w", "gflops", "energy_j")}
-		for _, kernel := range kernelOrder {
-			run, err := representativeWorkload(platName, kernel)
-			if err != nil {
-				return nil, err
-			}
-			rb, err := run(base)
-			if err != nil {
-				return nil, err
-			}
-			ro, err := run(opm)
-			if err != nil {
-				return nil, err
-			}
+		for ki, kernel := range kernelOrder {
+			rb, ro := pairs[ki].rb, pairs[ki].ro
 			sb := model.Estimate(rb)
 			so := model.Estimate(ro)
 			labels = append(labels, kernel)

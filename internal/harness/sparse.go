@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/plot"
 	"repro/internal/sparse"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -57,48 +59,61 @@ type sparsePoint struct {
 	GFlops    map[memsim.Mode]float64
 }
 
-// runSparse sweeps the suite over all modes of a platform.
-func runSparse(platName, kernel string, opt Options) ([]sparsePoint, []*core.Machine, error) {
+// runSparse sweeps the suite over all modes of a platform on the sweep
+// engine: one job per matrix, each job driving every mode through its
+// worker's pooled simulators. A failing matrix is dropped from the
+// sweep (returned in errs) instead of killing it; only cancellation or
+// systematic failure aborts.
+func runSparse(ctx context.Context, platName, kernel string, opt Options) ([]sparsePoint, []*core.Machine, sweep.Errors, error) {
 	base, opms, plat, err := machineSet(platName)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	machines := append([]*core.Machine{base}, opms...)
-	var points []sparsePoint
-	for _, spec := range suite(plat, opt) {
-		m := spec.Instantiate(plat.Scale)
-		w, err := sparseWorkload(kernel, m)
-		if err != nil {
-			return nil, nil, err
-		}
-		pt := sparsePoint{
-			Spec: spec,
-			Rows: m.Rows,
-			NNZ:  m.NNZ(),
-			// Structure axes are reported at paper scale too: the
-			// suite's instantiation shrinks rows/nnz by ~Scale.
-			Footprint: 0,
-			GFlops:    map[memsim.Mode]float64{},
-		}
-		for _, mach := range machines {
-			r, err := mach.Run(w)
+	specs := suite(plat, opt)
+	results, runErr := sweep.Map(ctx, opt.engine(), specs,
+		func(_ context.Context, w *sweep.Worker, spec sparse.Spec) (sparsePoint, error) {
+			m := spec.Instantiate(plat.Scale)
+			wl, err := sparseWorkload(kernel, m)
 			if err != nil {
-				return nil, nil, err
+				return sparsePoint{}, err
 			}
-			pt.GFlops[mach.Mode] = r.GFlops
-			pt.Footprint = r.FootprintBytes
-		}
-		points = append(points, pt)
+			pt := sparsePoint{
+				Spec: spec,
+				Rows: m.Rows,
+				NNZ:  m.NNZ(),
+				// Structure axes are reported at paper scale too: the
+				// suite's instantiation shrinks rows/nnz by ~Scale.
+				Footprint: 0,
+				GFlops:    map[memsim.Mode]float64{},
+			}
+			for _, mach := range machines {
+				sim, err := mach.PooledSim(w)
+				if err != nil {
+					return sparsePoint{}, err
+				}
+				r, err := mach.RunOn(sim, wl)
+				if err != nil {
+					return sparsePoint{}, fmt.Errorf("%s on %s: %w", spec.Name, mach.Label(), err)
+				}
+				pt.GFlops[mach.Mode] = r.GFlops
+				pt.Footprint = r.FootprintBytes
+			}
+			return pt, nil
+		})
+	points, errs, err := sweep.Compact(results, runErr)
+	if err != nil {
+		return nil, nil, errs, err
 	}
-	return points, machines, nil
+	return points, machines, errs, nil
 }
 
 // sparseRunner builds Figures 9–11 (Broadwell) and 17–22 (KNL): raw
 // throughput vs footprint, speedups vs the DDR baseline, and the
 // rows×nnz structure heat map.
-func sparseRunner(platName, kernel string) func(Options) (*Report, error) {
-	return func(opt Options) (*Report, error) {
-		points, machines, err := runSparse(platName, kernel, opt)
+func sparseRunner(platName, kernel string) func(context.Context, Options) (*Report, error) {
+	return func(ctx context.Context, opt Options) (*Report, error) {
+		points, machines, errs, err := runSparse(ctx, platName, kernel, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -106,6 +121,7 @@ func sparseRunner(platName, kernel string) func(Options) (*Report, error) {
 			return nil, fmt.Errorf("harness: empty sparse suite")
 		}
 		rep := &Report{CSV: map[string][]string{}}
+		sweepWarning(rep, errs)
 		var b strings.Builder
 
 		// Raw throughput scatter (per mode).

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -16,7 +17,7 @@ var kernelOrder = []string{"GEMM", "Cholesky", "SpMV", "SpTRANS", "SpTRSV", "Str
 // kernel across all modes of a platform. Inputs are the kernel's own
 // sweep: (order, block) cells for dense kernels, the matrix suite for
 // sparse ones, footprint points for Stream/Stencil/FFT.
-func kernelSeries(platName, kernel string, opt Options) (map[memsim.Mode][]float64, []*core.Machine, error) {
+func kernelSeries(ctx context.Context, platName, kernel string, opt Options) (map[memsim.Mode][]float64, []*core.Machine, error) {
 	switch kernel {
 	case "GEMM", "Cholesky":
 		kind, err := denseKind(kernel)
@@ -29,21 +30,25 @@ func kernelSeries(platName, kernel string, opt Options) (map[memsim.Mode][]float
 		}
 		machines := append([]*core.Machine{base}, opms...)
 		orders, blocks := denseGrid(plat, false)
-		out := map[memsim.Mode][]float64{}
+		var jobs []core.DenseJob
 		for _, m := range machines {
 			for _, n := range orders {
 				for _, nb := range blocks {
-					r, err := m.RunDense(kind, n, nb)
-					if err != nil {
-						return nil, nil, err
-					}
-					out[m.Mode] = append(out[m.Mode], r.GFlops)
+					jobs = append(jobs, core.DenseJob{Machine: m, Kind: kind, N: n, NB: nb})
 				}
 			}
 		}
+		results, err := core.RunDenseBatch(ctx, opt.engine(), jobs)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := map[memsim.Mode][]float64{}
+		for i, j := range jobs {
+			out[j.Machine.Mode] = append(out[j.Machine.Mode], results[i].GFlops)
+		}
 		return out, machines, nil
 	case "SpMV", "SpTRANS", "SpTRSV":
-		pts, machines, err := runSparse(platName, kernel, opt)
+		pts, machines, _, err := runSparse(ctx, platName, kernel, opt)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -55,7 +60,7 @@ func kernelSeries(platName, kernel string, opt Options) (map[memsim.Mode][]float
 		}
 		return out, machines, nil
 	case "Stream", "Stencil", "FFT":
-		pts, machines, err := runCurves(platName, kernel, opt)
+		pts, machines, err := runCurves(ctx, platName, kernel, opt)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -72,7 +77,7 @@ func kernelSeries(platName, kernel string, opt Options) (map[memsim.Mode][]float
 
 // runTable4 reproduces Table 4: per-kernel eDRAM summary statistics on
 // Broadwell.
-func runTable4(opt Options) (*Report, error) {
+func runTable4(ctx context.Context, opt Options) (*Report, error) {
 	rep := &Report{ID: "table4", Title: "Table 4", CSV: map[string][]string{}}
 	var b strings.Builder
 	b.WriteString("Table 4: summarized statistics for applying eDRAM (Broadwell)\n")
@@ -81,7 +86,7 @@ func runTable4(opt Options) (*Report, error) {
 	csv := []string{csvLine("kernel", "best_wo", "best_w", "avg_gap", "max_gap", "avg_speedup", "max_speedup")}
 	var avgSpeedups []string
 	for _, kernel := range kernelOrder {
-		series, _, err := kernelSeries("broadwell", kernel, opt)
+		series, _, err := kernelSeries(ctx, "broadwell", kernel, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -108,7 +113,7 @@ func runTable4(opt Options) (*Report, error) {
 
 // runTable5 reproduces Table 5: per-kernel MCDRAM mode summaries on
 // KNL (flat / cache / hybrid against the DDR baseline).
-func runTable5(opt Options) (*Report, error) {
+func runTable5(ctx context.Context, opt Options) (*Report, error) {
 	rep := &Report{ID: "table5", Title: "Table 5", CSV: map[string][]string{}}
 	modes := []memsim.Mode{memsim.ModeFlat, memsim.ModeCache, memsim.ModeHybrid}
 	var b strings.Builder
@@ -117,7 +122,7 @@ func runTable5(opt Options) (*Report, error) {
 		"Kernel", "ddr best", "best f/c/h", "avg speedup f/c/h", "max speedup f/c/h")
 	csv := []string{csvLine("kernel", "ddr_best", "mode", "best", "avg_gap", "max_gap", "avg_speedup", "max_speedup")}
 	for _, kernel := range kernelOrder {
-		series, _, err := kernelSeries("knl", kernel, opt)
+		series, _, err := kernelSeries(ctx, "knl", kernel, opt)
 		if err != nil {
 			return nil, err
 		}

@@ -164,6 +164,26 @@ func (s *Sim) Config() Config { return s.cfg }
 // Traffic returns a snapshot of the accumulated traffic counters.
 func (s *Sim) Traffic() Traffic { return s.traffic }
 
+// Reset returns the simulator to its freshly-constructed state: caches
+// cold, allocator rewound, traffic counters cleared. A reset simulator
+// reproduces a fresh one's traffic exactly, which lets sweep workers
+// pool one simulator per configuration instead of paying the cache
+// array allocations of NewSim once per sweep cell.
+func (s *Sim) Reset() {
+	for _, c := range []*cache.SetAssoc{s.l1, s.l2, s.l3, s.edram, s.edramMS} {
+		if c != nil {
+			c.Reset()
+		}
+	}
+	if s.mcCache != nil {
+		s.mcCache.Reset()
+	}
+	s.mcAllocated = 0
+	s.ddrCursor = ddrBase
+	s.traffic = Traffic{}
+	s.lastLine, s.lastWr, s.hasLast = 0, false, false
+}
+
 // ResetTraffic clears traffic counters but keeps cache contents — used
 // to discard warm-up passes so steady-state behaviour is measured, as
 // the paper averages multiple executions.

@@ -104,6 +104,9 @@ func (p *Platform) Config(mode memsim.Mode) (memsim.Config, error) {
 }
 
 // MustConfig is Config that panics on error.
+//
+// Deprecated: retained for examples and tests. Library and harness
+// code should call Config and surface the error.
 func (p *Platform) MustConfig(mode memsim.Mode) memsim.Config {
 	cfg, err := p.Config(mode)
 	if err != nil {

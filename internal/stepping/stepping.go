@@ -73,6 +73,9 @@ func Model(name string, levels []Level, k Kernel, minFP, maxFP int64, points int
 }
 
 // MustModel is Model that panics on error.
+//
+// Deprecated: retained for examples and tests. Library and harness
+// code should call Model and surface the error.
 func MustModel(name string, levels []Level, k Kernel, minFP, maxFP int64, points int) Curve {
 	c, err := Model(name, levels, k, minFP, maxFP, points)
 	if err != nil {

@@ -1,0 +1,257 @@
+// Package sweep is the concurrent sweep-execution engine behind the
+// paper's evaluation: thousands of independent (machine, workload)
+// cells — 968 sparse matrices × memory modes, ~1900-cell dense heat
+// maps — dispatched onto a bounded worker pool instead of nested
+// sequential loops. The engine preserves deterministic submission-order
+// output regardless of completion order, collects per-job errors so one
+// bad matrix cannot kill a 968-matrix sweep, honours context
+// cancellation and timeouts, reports progress, and gives each worker a
+// keyed resource pool so hot sweeps reuse one hierarchy simulator per
+// worker instead of allocating one per cell.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Engine configures one sweep run. The zero value is ready to use:
+// GOMAXPROCS workers and no progress reporting.
+type Engine struct {
+	// Workers bounds the pool size; <= 0 selects runtime.GOMAXPROCS(0).
+	// Workers = 1 reproduces the sequential path exactly (and is what
+	// the equivalence tests compare against).
+	Workers int
+	// Progress, when non-nil, is invoked (serialized) after every
+	// completed job with the sweep's advancement.
+	Progress func(Progress)
+}
+
+// Progress is one advancement report of a running sweep.
+type Progress struct {
+	Done, Total int
+	Elapsed     time.Duration
+	// ETA estimates the remaining wall time by linear extrapolation of
+	// the completed fraction.
+	ETA time.Duration
+}
+
+// workerCount resolves the pool size for a job count.
+func (e *Engine) workerCount(jobs int) int {
+	n := e.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > jobs {
+		n = jobs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// JobError ties one failed job to its submission index.
+type JobError struct {
+	Index int
+	Err   error
+}
+
+func (e *JobError) Error() string { return fmt.Sprintf("job %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// Errors collects the failed jobs of one sweep in submission order.
+// It satisfies error, and unwraps to the individual causes so
+// errors.Is(err, context.Canceled) works on a cancelled sweep.
+type Errors []*JobError
+
+func (es Errors) Error() string {
+	if len(es) == 0 {
+		return "sweep: no errors"
+	}
+	if len(es) == 1 {
+		return "sweep: " + es[0].Error()
+	}
+	return fmt.Sprintf("sweep: %d jobs failed (first: %v)", len(es), es[0])
+}
+
+// Unwrap supports the multi-error traversal of errors.Is/As.
+func (es Errors) Unwrap() []error {
+	out := make([]error, len(es))
+	for i, e := range es {
+		out[i] = e
+	}
+	return out
+}
+
+// Canceled reports whether any failure was a context cancellation or
+// deadline — the signal that remaining jobs were skipped, not broken.
+func (es Errors) Canceled() bool {
+	for _, e := range es {
+		if errors.Is(e.Err, context.Canceled) || errors.Is(e.Err, context.DeadlineExceeded) {
+			return true
+		}
+	}
+	return false
+}
+
+// Worker is the per-goroutine state handed to every job: an identity
+// and a keyed pool of reusable resources. A sweep over N machines keys
+// one hierarchy simulator per machine configuration, so each worker
+// allocates each simulator once and resets it between cells.
+type Worker struct {
+	id   int
+	pool map[any]any
+}
+
+// ID returns the worker's index in [0, Workers).
+func (w *Worker) ID() int { return w.id }
+
+// Get returns the pooled resource under key, building and caching it on
+// first use. Keys must be comparable; the pool is worker-local, so no
+// locking is involved.
+func (w *Worker) Get(key any, build func() (any, error)) (any, error) {
+	if v, ok := w.pool[key]; ok {
+		return v, nil
+	}
+	v, err := build()
+	if err != nil {
+		return nil, err
+	}
+	w.pool[key] = v
+	return v, nil
+}
+
+// Drop evicts a pooled resource, forcing the next Get to rebuild it —
+// used after a failure that may have left the resource inconsistent.
+func (w *Worker) Drop(key any) { delete(w.pool, key) }
+
+// Map runs fn over every job on the engine's worker pool and returns
+// the results in submission order. A failed (or panicking) job
+// contributes its zero-value result and a JobError; the sweep
+// continues. When ctx is cancelled or times out, workers stop promptly
+// and every unstarted job records the context error. The returned
+// error is nil when every job succeeded, otherwise the accumulated
+// Errors (sorted by job index).
+func Map[J, R any](ctx context.Context, e *Engine, jobs []J, fn func(ctx context.Context, w *Worker, job J) (R, error)) ([]R, error) {
+	if e == nil {
+		e = &Engine{}
+	}
+	results := make([]R, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+	var (
+		next  atomic.Int64
+		done  atomic.Int64
+		mu    sync.Mutex
+		errs  Errors
+		start = time.Now()
+		wg    sync.WaitGroup
+	)
+	total := len(jobs)
+	report := func() {
+		if e.Progress == nil {
+			return
+		}
+		d := int(done.Load())
+		elapsed := time.Since(start)
+		var eta time.Duration
+		if d > 0 && d < total {
+			eta = time.Duration(float64(elapsed) / float64(d) * float64(total-d))
+		}
+		mu.Lock()
+		e.Progress(Progress{Done: d, Total: total, Elapsed: elapsed, ETA: eta})
+		mu.Unlock()
+	}
+	fail := func(i int, err error) {
+		mu.Lock()
+		errs = append(errs, &JobError{Index: i, Err: err})
+		mu.Unlock()
+	}
+	for wi := 0; wi < e.workerCount(total); wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w := &Worker{id: wi, pool: map[any]any{}}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					// Cancelled: drain the remaining indices cheaply so
+					// the sweep returns promptly with partial results.
+					fail(i, err)
+					continue
+				}
+				if r, err := runJob(ctx, w, jobs[i], fn); err != nil {
+					fail(i, err)
+				} else {
+					results[i] = r
+				}
+				done.Add(1)
+				report()
+			}
+		}(wi)
+	}
+	wg.Wait()
+	if len(errs) == 0 {
+		return results, nil
+	}
+	sort.Slice(errs, func(a, b int) bool { return errs[a].Index < errs[b].Index })
+	return results, errs
+}
+
+// runJob invokes fn with panic containment: a panicking cell (e.g. a
+// buffer bounds violation in a trace generator) becomes that job's
+// error instead of killing the whole sweep.
+func runJob[J, R any](ctx context.Context, w *Worker, job J, fn func(context.Context, *Worker, J) (R, error)) (r R, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("sweep: job panicked: %v", p)
+		}
+	}()
+	return fn(ctx, w, job)
+}
+
+// Compact splits a Map outcome into the surviving results and the
+// failures. A cancelled sweep is fatal: Compact returns the context
+// error so callers abort instead of reporting a silently truncated
+// sweep. Other per-job failures are survivable — their zero-value
+// results are dropped and the Errors returned for reporting.
+func Compact[R any](results []R, err error) ([]R, Errors, error) {
+	if err == nil {
+		return results, nil, nil
+	}
+	var errs Errors
+	if !errors.As(err, &errs) {
+		return nil, nil, err
+	}
+	if errs.Canceled() {
+		for _, e := range errs {
+			if errors.Is(e.Err, context.Canceled) || errors.Is(e.Err, context.DeadlineExceeded) {
+				return nil, errs, e.Err
+			}
+		}
+	}
+	drop := make(map[int]bool, len(errs))
+	for _, e := range errs {
+		drop[e.Index] = true
+	}
+	kept := make([]R, 0, len(results)-len(errs))
+	for i, r := range results {
+		if !drop[i] {
+			kept = append(kept, r)
+		}
+	}
+	return kept, errs, nil
+}

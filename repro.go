@@ -23,6 +23,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/memsim"
@@ -100,9 +102,16 @@ func Experiments() []Experiment { return harness.Registry() }
 
 // RunExperiment runs one experiment by ID ("fig7", "table4", ...).
 func RunExperiment(id string, opt Options) (*Report, error) {
+	return RunExperimentContext(context.Background(), id, opt)
+}
+
+// RunExperimentContext is RunExperiment under a caller-provided
+// context: cancellation or deadline expiry aborts the experiment's
+// sweeps mid-flight.
+func RunExperimentContext(ctx context.Context, id string, opt Options) (*Report, error) {
 	e, err := harness.Get(id)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(opt)
+	return e.Run(ctx, opt)
 }

@@ -1,0 +1,17 @@
+#!/bin/sh
+# check.sh — the full pre-merge gate: static analysis plus the entire
+# test suite under the race detector. The sweep engine is the one
+# place this repo runs goroutines, so -race here is what guards the
+# parallel/sequential equivalence contract.
+#
+# Usage: scripts/check.sh [package...]   (defaults to ./...)
+set -eu
+cd "$(dirname "$0")/.."
+
+pkgs="${*:-./...}"
+
+echo "== go vet $pkgs"
+go vet $pkgs
+
+echo "== go test -race $pkgs"
+go test -race $pkgs
