@@ -1,6 +1,6 @@
 # Convenience targets; see scripts/check.sh for the full gate.
 
-.PHONY: build test check bench
+.PHONY: build test check bench bench-obs profile
 
 build:
 	go build ./...
@@ -8,9 +8,21 @@ build:
 test:
 	go test ./...
 
-# Full pre-merge gate: vet + race-enabled tests.
+# Full pre-merge gate: vet + (optional) staticcheck + race-enabled tests.
 check:
 	scripts/check.sh
 
 bench:
 	go test -bench=BenchmarkSweepEngine -benchtime=1x -run=^$$ .
+
+# Telemetry overhead guard: enabled registry vs disabled on the same sweep.
+bench-obs:
+	go test -bench=BenchmarkObsOverhead -benchtime=3x -run=^$$ .
+
+# Profile a short dense sweep with live pprof plus a CPU profile and a
+# metrics dump under prof/. Inspect with: go tool pprof prof/opmbench.cpu
+profile:
+	mkdir -p prof
+	go run ./cmd/opmbench -exp fig7 -q -pprof localhost:0 \
+		-cpuprofile prof/opmbench.cpu -metrics prof/metrics.json
+	@echo "wrote prof/opmbench.cpu and prof/metrics.json"

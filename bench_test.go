@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 // benchExperiment runs one harness experiment per benchmark iteration.
@@ -57,6 +58,23 @@ func BenchmarkSweepEngine(b *testing.B) {
 			benchExperimentOpts(b, "fig9", o)
 		})
 	}
+}
+
+// BenchmarkObsOverhead measures the cost of a live metrics registry on
+// the sweep hot path: the same fig9 subsample with telemetry disabled
+// (nil registry — every instrument call is a nil-receiver no-op) and
+// enabled (counters, latency/queue-wait histograms, per-level cache
+// counters all recording). The enabled variant should stay within a
+// couple percent of disabled; the jobs are simulator-bound, so a
+// handful of atomic ops per job is noise.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		benchExperimentOpts(b, "fig9", harness.Options{Stride: 48})
+	})
+	b.Run("enabled", func(b *testing.B) {
+		o := harness.Options{Stride: 48, Obs: obs.NewRegistry()}
+		benchExperimentOpts(b, "fig9", o)
+	})
 }
 
 func BenchmarkTable2Characteristics(b *testing.B) { benchExperiment(b, "table2") }

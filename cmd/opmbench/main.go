@@ -4,6 +4,10 @@
 // the concurrent sweep engine; -workers bounds its pool and -timeout
 // aborts a run that exceeds its wall-clock budget.
 //
+// The observability flags never change report bytes: stdout (and -out
+// CSVs) stay byte-identical whether telemetry is on or off. Metrics,
+// logs and profiles go to their own files or stderr.
+//
 // Usage:
 //
 //	opmbench -list
@@ -13,6 +17,10 @@
 //	opmbench -exp fig9 -workers 1       # sequential baseline
 //	opmbench -exp all -timeout 10m      # bound the whole run
 //	opmbench -exp fig9 -progress        # live done/total/ETA on stderr
+//	opmbench -exp fig9 -metrics out.json       # manifest + registry dump
+//	opmbench -exp fig9 -log-level debug        # structured logs on stderr
+//	opmbench -exp all -pprof localhost:6060    # live pprof/expvar/metrics
+//	opmbench -exp fig7 -cpuprofile cpu.out     # CPU profile of the run
 package main
 
 import (
@@ -20,15 +28,22 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with working defers, so profiles and metrics dumps are
+// flushed on every exit path.
+func run() int {
 	var (
 		exp      = flag.String("exp", "", "experiment ID (see -list), or \"all\"")
 		full     = flag.Bool("full", false, "run the paper's complete sweeps (968 matrices, fine grids)")
@@ -39,6 +54,12 @@ func main() {
 		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 		progress = flag.Bool("progress", false, "report sweep progress (done/total/ETA) on stderr")
+
+		metrics    = flag.String("metrics", "", "write manifest + metrics registry as JSON to this file at exit")
+		logLevel   = flag.String("log-level", "", "structured logging on stderr at this level (debug|info|warn|error; off when empty)")
+		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text (needs -log-level)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof, expvar and live /metrics on this address (e.g. localhost:6060)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	)
 	flag.Parse()
 
@@ -46,11 +67,11 @@ func main() {
 		for _, e := range harness.RegistryWithExtensions() {
 			fmt.Printf("%-14s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "opmbench: -exp required (or -list); e.g. -exp fig7 or -exp all")
-		os.Exit(2)
+		return 2
 	}
 
 	var ids []string
@@ -65,13 +86,76 @@ func main() {
 		ids = strings.Split(*exp, ",")
 	}
 
+	// Observability setup: registry (for -metrics/-pprof), structured
+	// logger, run manifest, CPU profile. All of it is off by default
+	// and none of it touches stdout.
+	var reg *obs.Registry
+	if *metrics != "" || *pprofAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	var logger *slog.Logger
+	if *logLevel != "" {
+		lvl, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "opmbench:", err)
+			return 2
+		}
+		logger = obs.NewLogger(os.Stderr, lvl, *logJSON)
+	}
+	manifest := obs.NewManifest("opmbench")
+	manifest.Workers = *workers
+	manifest.Machines = harness.PlatformMatrix()
+	manifest.ConfigHash = obs.Hash(*exp, *full, *workers, timeout.String())
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "opmbench:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "opmbench:", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *pprofAddr != "" {
+		srv, addr, err := obs.Serve(*pprofAddr, reg, func() *obs.Manifest { return manifest })
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "opmbench:", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "opmbench: telemetry on http://%s (/debug/pprof/, /debug/vars, /metrics)\n", addr)
+	}
+	// The dump runs deferred so a -timeout abort still leaves a
+	// metrics file behind for the post-mortem.
+	if *metrics != "" {
+		defer func() {
+			manifest.Finish()
+			if err := reg.WriteFile(*metrics, manifest); err != nil {
+				fmt.Fprintln(os.Stderr, "opmbench:", err)
+			}
+		}()
+	}
+	if reg != nil {
+		defer func() {
+			if rep := reg.SpanReport(); rep != "" {
+				fmt.Fprint(os.Stderr, rep)
+			}
+		}()
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opt := harness.Options{Full: *full, OutDir: *out, Workers: *workers}
+	opt := harness.Options{Full: *full, OutDir: *out, Workers: *workers, Obs: reg, Log: logger}
 	if *progress {
 		opt.Progress = func(p sweep.Progress) {
 			fmt.Fprintf(os.Stderr, "\rsweep %d/%d (eta %s)   ", p.Done, p.Total, p.ETA.Round(time.Second))
@@ -86,7 +170,7 @@ func main() {
 		e, err := harness.Get(strings.TrimSpace(id))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "opmbench:", err)
-			os.Exit(2)
+			return 2
 		}
 		t0 := time.Now()
 		rep, err := e.Run(ctx, opt)
@@ -94,7 +178,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "opmbench: %s failed: %v\n", e.ID, err)
 			if errors.Is(err, context.DeadlineExceeded) {
 				fmt.Fprintln(os.Stderr, "opmbench: -timeout exceeded, stopping")
-				os.Exit(1)
+				return 1
 			}
 			failed = true
 			continue
@@ -117,6 +201,7 @@ func main() {
 		fmt.Println()
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"repro/internal/memsim"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -236,8 +237,14 @@ type DenseJob struct {
 // simulator per machine configuration; a failed job yields a zero
 // Result plus a sweep.JobError without stopping the sweep, and a
 // failure evicts that worker's pooled simulator so the next job
-// rebuilds it cold.
+// rebuilds it cold. With eng.Obs set, each finished job's per-level
+// cache and traffic counters are accumulated into the registry
+// (memsim.Sim.RecordMetrics).
 func RunBatch(ctx context.Context, eng *sweep.Engine, jobs []Job) ([]memsim.Result, error) {
+	var reg *obs.Registry
+	if eng != nil {
+		reg = eng.Obs
+	}
 	return sweep.Map(ctx, eng, jobs, func(_ context.Context, w *sweep.Worker, j Job) (memsim.Result, error) {
 		sim, err := j.Machine.PooledSim(w)
 		if err != nil {
@@ -248,6 +255,7 @@ func RunBatch(ctx context.Context, eng *sweep.Engine, jobs []Job) ([]memsim.Resu
 			w.Drop(j.Machine.cfg)
 			return memsim.Result{}, fmt.Errorf("core: %s on %s: %w", j.Workload.Name(), j.Machine.Label(), err)
 		}
+		sim.RecordMetrics(reg)
 		return r, nil
 	})
 }

@@ -69,7 +69,12 @@ func runCurves(ctx context.Context, platName, kernel string, opt Options) ([]cur
 		return nil, nil, err
 	}
 	machines := append([]*core.Machine{base}, opms...)
-	pts, err := sweep.Map(ctx, opt.engine(), curveFootprints(plat, opt),
+	fps := curveFootprints(plat, opt)
+	opt.logger().Debug("curve sweep starting", "platform", platName, "kernel", kernel,
+		"points", len(fps), "modes", len(machines))
+	sp := opt.Obs.StartSpan("curves/" + platName + "/" + kernel + "/sweep")
+	defer sp.End()
+	pts, err := sweep.Map(ctx, opt.engine(), fps,
 		func(_ context.Context, w *sweep.Worker, fp int64) (curvePoint, error) {
 			simFP := plat.ScaledBytes(fp)
 			if simFP < 4096 {
@@ -97,6 +102,7 @@ func runCurves(ctx context.Context, platName, kernel string, opt Options) ([]cur
 				// bytes = flops / AI, AI = flops/bytes of Table 2.
 				pt.GBs[mach.Mode] = appGBs(kernel, wl, r)
 				pt.Footprint = r.FootprintBytes
+				sim.RecordMetrics(opt.Obs)
 			}
 			return pt, nil
 		})

@@ -73,7 +73,11 @@ func denseHeatmapRunner(platName, kernel string) func(context.Context, Options) 
 				}
 			}
 		}
+		opt.logger().Debug("dense sweep starting", "platform", platName, "kernel", kernel,
+			"cells", len(jobs))
+		sp := opt.Obs.StartSpan("dense/" + platName + "/" + kernel + "/sweep")
 		results, err := core.RunDenseBatch(ctx, opt.engine(), jobs)
+		sp.End()
 		if err != nil {
 			// Dense cells fail only for systematic reasons (bad grid or
 			// tuning), so any failure aborts the heat map.
@@ -81,6 +85,8 @@ func denseHeatmapRunner(platName, kernel string) func(context.Context, Options) 
 		}
 
 		rep := &Report{CSV: map[string][]string{}}
+		render := opt.Obs.StartSpan("dense/" + platName + "/" + kernel + "/render")
+		defer render.End()
 		var b strings.Builder
 		idx := 0
 		for _, m := range machines {

@@ -20,9 +20,9 @@ import (
 // multi-tenant OPM-sharing scenario from the future-work list.
 
 // extensionExperiments returns the extra experiments appended to the
-// registry.
+// registry, instrumented like the paper experiments.
 func extensionExperiments() []Experiment {
-	return []Experiment{
+	return instrumentAll([]Experiment{
 		{
 			ID:    "ext-skylake",
 			Title: "Extension: CPU-side victim eDRAM (Broadwell) vs memory-side eDRAM (Skylake)",
@@ -38,7 +38,7 @@ func extensionExperiments() []Experiment {
 			Title: "Ablations: model mechanisms switched off one at a time",
 			Run:   runAblations,
 		},
-	}
+	})
 }
 
 // runExtSkylake sweeps a triad across both eDRAM arrangements. The

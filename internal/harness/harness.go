@@ -8,13 +8,16 @@ package harness
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/memsim"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sweep"
 )
@@ -43,20 +46,41 @@ type Options struct {
 	// Progress, when non-nil, receives live sweep advancement
 	// (opmbench -progress wires it to stderr).
 	Progress func(sweep.Progress)
+	// Obs, when non-nil, receives run telemetry: sweep engine metrics,
+	// per-level simulator counters, and hierarchical phase spans.
+	// Telemetry never alters report bytes — a run with Obs set renders
+	// byte-identical Text/CSV/Findings to one without.
+	Obs *obs.Registry
+	// Log, when non-nil, receives structured run logs (experiment
+	// start/finish, sweep sizes, dropped cells). Nil disables logging.
+	Log *slog.Logger
 }
 
 // engine builds the sweep engine the option set describes.
 func (o Options) engine() *sweep.Engine {
-	return &sweep.Engine{Workers: o.Workers, Progress: o.Progress}
+	return &sweep.Engine{Workers: o.Workers, Progress: o.Progress, Obs: o.Obs}
 }
 
-// Report is the outcome of one experiment.
+// logger returns the options' logger, or a drop-everything logger so
+// call sites never nil-check.
+func (o Options) logger() *slog.Logger {
+	if o.Log == nil {
+		return obs.NopLogger()
+	}
+	return o.Log
+}
+
+// Report is the outcome of one experiment. Text, CSV and Findings are
+// the deterministic report bytes the equivalence tests compare;
+// Manifest is run provenance riding beside them, never rendered into
+// them.
 type Report struct {
 	ID       string
 	Title    string
 	Text     string              // rendered figure/table
 	CSV      map[string][]string // file name -> lines (header first)
 	Findings []string            // headline paper-vs-measured notes
+	Manifest *obs.Manifest       // run provenance (attached by instrument)
 }
 
 // Experiment is one reproducible table or figure. Run's context
@@ -67,9 +91,10 @@ type Experiment struct {
 	Run   func(ctx context.Context, opt Options) (*Report, error)
 }
 
-// Registry returns all experiments in paper order.
+// Registry returns all experiments in paper order, each wrapped by
+// the observability layer (see instrument).
 func Registry() []Experiment {
-	return []Experiment{
+	return instrumentAll([]Experiment{
 		{ID: "table2", Title: "Table 2 / Fig 4: kernel characteristics and AI spectrum", Run: runTable2},
 		{ID: "fig5", Title: "Fig 5: roofline models for eDRAM and MCDRAM", Run: runFig5},
 		{ID: "fig6", Title: "Fig 6: the Stepping model", Run: runFig6},
@@ -97,7 +122,66 @@ func Registry() []Experiment {
 		{ID: "fig28", Title: "Fig 28: eDRAM tuning via Stepping model", Run: runFig28},
 		{ID: "fig29", Title: "Fig 29: MCDRAM tuning via Stepping model", Run: runFig29},
 		{ID: "fig30", Title: "Fig 30: tuning OPM hardware (capacity/bandwidth what-ifs)", Run: runFig30},
+	})
+}
+
+// instrumentAll wraps every experiment's runner with instrument.
+func instrumentAll(exps []Experiment) []Experiment {
+	for i := range exps {
+		exps[i].Run = instrument(exps[i].ID, exps[i].Run)
 	}
+	return exps
+}
+
+// instrument wraps an experiment runner with the observability layer:
+// an "exp/<id>" span, structured start/finish logs, and the run
+// manifest attached to the finished report. It touches nothing the
+// deterministic report bytes (Text/CSV/Findings) are built from, so
+// enabling telemetry can never change a rendered figure.
+func instrument(id string, run func(context.Context, Options) (*Report, error)) func(context.Context, Options) (*Report, error) {
+	return func(ctx context.Context, opt Options) (*Report, error) {
+		log := opt.logger()
+		log.Debug("experiment starting", "id", id, "workers", opt.Workers, "full", opt.Full)
+		start := time.Now()
+		sp := opt.Obs.StartSpan("exp/" + id)
+		rep, err := run(ctx, opt)
+		sp.End()
+		elapsed := time.Since(start)
+		if err != nil {
+			log.Error("experiment failed", "id", id, "elapsed", elapsed, "err", err)
+			return nil, err
+		}
+		if rep.ID == "" {
+			rep.ID = id
+		}
+		rep.Manifest = manifestFor(opt, start)
+		log.Info("experiment finished", "id", id, "elapsed", elapsed,
+			"findings", len(rep.Findings), "csvs", len(rep.CSV))
+		return rep, nil
+	}
+}
+
+// manifestFor builds the provenance record attached to one report.
+func manifestFor(opt Options, start time.Time) *obs.Manifest {
+	m := obs.NewManifest("opmbench-harness")
+	m.Start = start
+	m.Workers = opt.Workers
+	m.Machines = PlatformMatrix()
+	m.ConfigHash = obs.Hash(opt.Full, opt.Stride, opt.CurvePoints, opt.MaxPaperFootprint, opt.Workers)
+	m.Finish()
+	return m
+}
+
+// PlatformMatrix lists every platform/mode pair the harness can run —
+// the run manifest's record of the machine matrix under test.
+func PlatformMatrix() []string {
+	var out []string
+	for _, p := range []*platform.Platform{platform.Broadwell(), platform.KNL(), platform.Skylake()} {
+		for _, mode := range p.Modes {
+			out = append(out, p.Name+"/"+mode.String())
+		}
+	}
+	return out
 }
 
 // RegistryWithExtensions appends the beyond-the-paper experiments
@@ -188,10 +272,12 @@ func machineSet(platName string) (base *core.Machine, opm []*core.Machine, plat 
 }
 
 // sweepWarning surfaces survivable per-job sweep failures (dropped
-// cells) as a report finding so a truncated sweep is never silent.
+// cells) as report findings — one warning per failed job, in
+// submission order, so a truncated sweep is never silent and no
+// dropped matrix hides behind a "N jobs failed" summary.
 func sweepWarning(rep *Report, errs sweep.Errors) {
-	if len(errs) > 0 {
-		rep.Findings = append(rep.Findings, "WARNING: "+errs.Error())
+	for _, e := range errs {
+		rep.Findings = append(rep.Findings, "WARNING: dropped "+e.Error())
 	}
 }
 

@@ -59,11 +59,17 @@ type sparsePoint struct {
 	GFlops    map[memsim.Mode]float64
 }
 
+// sparseJobHook, when non-nil, runs before each sparse job and may
+// fail it — the test seam for the sweep's partial-failure reporting
+// (every dropped matrix must surface as a report warning).
+var sparseJobHook func(sparse.Spec) error
+
 // runSparse sweeps the suite over all modes of a platform on the sweep
 // engine: one job per matrix, each job driving every mode through its
 // worker's pooled simulators. A failing matrix is dropped from the
 // sweep (returned in errs) instead of killing it; only cancellation or
-// systematic failure aborts.
+// systematic failure aborts. Each finished job snapshots its
+// simulators' per-level counters into opt.Obs.
 func runSparse(ctx context.Context, platName, kernel string, opt Options) ([]sparsePoint, []*core.Machine, sweep.Errors, error) {
 	base, opms, plat, err := machineSet(platName)
 	if err != nil {
@@ -71,8 +77,16 @@ func runSparse(ctx context.Context, platName, kernel string, opt Options) ([]spa
 	}
 	machines := append([]*core.Machine{base}, opms...)
 	specs := suite(plat, opt)
+	opt.logger().Debug("sparse sweep starting", "platform", platName, "kernel", kernel,
+		"matrices", len(specs), "modes", len(machines))
+	sp := opt.Obs.StartSpan("sparse/" + platName + "/" + kernel + "/sweep")
 	results, runErr := sweep.Map(ctx, opt.engine(), specs,
 		func(_ context.Context, w *sweep.Worker, spec sparse.Spec) (sparsePoint, error) {
+			if sparseJobHook != nil {
+				if err := sparseJobHook(spec); err != nil {
+					return sparsePoint{}, err
+				}
+			}
 			m := spec.Instantiate(plat.Scale)
 			wl, err := sparseWorkload(kernel, m)
 			if err != nil {
@@ -98,12 +112,18 @@ func runSparse(ctx context.Context, platName, kernel string, opt Options) ([]spa
 				}
 				pt.GFlops[mach.Mode] = r.GFlops
 				pt.Footprint = r.FootprintBytes
+				sim.RecordMetrics(opt.Obs)
 			}
 			return pt, nil
 		})
+	sp.End()
 	points, errs, err := sweep.Compact(results, runErr)
 	if err != nil {
 		return nil, nil, errs, err
+	}
+	if len(errs) > 0 {
+		opt.logger().Warn("sparse sweep dropped matrices", "platform", platName,
+			"kernel", kernel, "dropped", len(errs), "kept", len(points))
 	}
 	return points, machines, errs, nil
 }
@@ -122,6 +142,8 @@ func sparseRunner(platName, kernel string) func(context.Context, Options) (*Repo
 		}
 		rep := &Report{CSV: map[string][]string{}}
 		sweepWarning(rep, errs)
+		render := opt.Obs.StartSpan("sparse/" + platName + "/" + kernel + "/render")
+		defer render.End()
 		var b strings.Builder
 
 		// Raw throughput scatter (per mode).

@@ -2,8 +2,10 @@ package memsim
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 )
 
 // Address-space layout. Flat-mode MCDRAM occupies a low region so the
@@ -192,6 +194,77 @@ func (s *Sim) ResetTraffic() {
 	split := s.traffic.SplitFlat
 	s.traffic = Traffic{FootprintBytes: fp, SplitFlat: split}
 	s.hasLast = false
+}
+
+// LevelStats is the per-level cache statistics of one simulator: one
+// entry per instantiated level, nearest to farthest. Names are
+// metric-safe lowercase ("l1", "mcdram_cache", ...).
+type LevelStats struct {
+	Level string
+	Stats cache.Stats
+}
+
+// LevelStats snapshots the hit/miss/eviction/writeback counters of
+// every cache level the current mode instantiates.
+func (s *Sim) LevelStats() []LevelStats {
+	var out []LevelStats
+	add := func(name string, st *cache.Stats) {
+		out = append(out, LevelStats{Level: name, Stats: *st})
+	}
+	for _, lv := range []struct {
+		name string
+		c    *cache.SetAssoc
+	}{{"l1", s.l1}, {"l2", s.l2}, {"l3", s.l3}, {"edram", s.edram}, {"edram_ms", s.edramMS}} {
+		if lv.c != nil {
+			add(lv.name, lv.c.Stats())
+		}
+	}
+	if s.mcCache != nil {
+		add("mcdram_cache", s.mcCache.Stats())
+	}
+	return out
+}
+
+// RecordMetrics adds the simulator's current per-level cache
+// statistics and traffic counters into reg (no-op when reg is nil):
+//
+//	memsim/runs                                 simulations recorded
+//	memsim/<level>/{accesses,hits,misses,evictions,writebacks}
+//	memsim/traffic/<source>_bytes               demand bytes served
+//	memsim/traffic/<source>_wb_bytes            writeback bytes absorbed
+//	memsim/traffic/<source>_lines               demand line fills
+//	memsim/traffic/{mc_tag_lines,accesses}
+//
+// The sweep harness calls it once per finished job — RunOn resets the
+// simulator first, so each call contributes exactly that job's counts
+// and the registry accumulates the whole sweep's totals.
+func (s *Sim) RecordMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("memsim/runs").Inc()
+	for _, ls := range s.LevelStats() {
+		p := "memsim/" + ls.Level + "/"
+		reg.Counter(p + "accesses").AddUint64(ls.Stats.Accesses)
+		reg.Counter(p + "hits").AddUint64(ls.Stats.Hits)
+		reg.Counter(p + "misses").AddUint64(ls.Stats.Misses)
+		reg.Counter(p + "evictions").AddUint64(ls.Stats.Evictions)
+		reg.Counter(p + "writebacks").AddUint64(ls.Stats.Writebacks)
+	}
+	for src := Source(0); src < NumSources; src++ {
+		name := strings.ToLower(src.String())
+		if b := s.traffic.Bytes[src]; b > 0 {
+			reg.Counter("memsim/traffic/" + name + "_bytes").AddUint64(b)
+		}
+		if wb := s.traffic.WBBytes[src]; wb > 0 {
+			reg.Counter("memsim/traffic/" + name + "_wb_bytes").AddUint64(wb)
+		}
+		if l := s.traffic.Lines[src]; l > 0 {
+			reg.Counter("memsim/traffic/" + name + "_lines").AddUint64(l)
+		}
+	}
+	reg.Counter("memsim/traffic/mc_tag_lines").AddUint64(s.traffic.MCTagLines)
+	reg.Counter("memsim/traffic/accesses").AddUint64(s.traffic.Accesses)
 }
 
 // Alloc reserves a simulated buffer. In flat and hybrid modes the

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// MetricsHandler serves the registry (plus manifest, may both be nil)
+// as the same JSON document -metrics writes, so a long sweep can be
+// inspected live with curl while it runs.
+func MetricsHandler(r *Registry, manifest func() *Manifest) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var m *Manifest
+		if manifest != nil {
+			m = manifest()
+		}
+		if err := r.WriteJSON(w, m); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the registry under the expvar name "opm" (on
+// /debug/vars). Only the first registry published wins — expvar names
+// are process-global and re-publishing panics — which matches the
+// one-registry-per-process CLI usage.
+func PublishExpvar(r *Registry) {
+	if r == nil {
+		return
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish("opm", expvar.Func(func() any { return r.Snapshot() }))
+	})
+}
+
+// Serve starts a debug HTTP server on addr exposing net/http/pprof
+// (/debug/pprof/), expvar (/debug/vars, including the registry under
+// "opm"), and the live registry dump (/metrics). It returns the server
+// and its bound address (useful with ":0") and never blocks; Close the
+// server to stop it. The handlers are mounted on a private mux so
+// importing this package does not pollute http.DefaultServeMux.
+func Serve(addr string, r *Registry, manifest func() *Manifest) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	PublishExpvar(r)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", MetricsHandler(r, manifest))
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return srv, ln.Addr(), nil
+}

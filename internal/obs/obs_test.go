@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRegistryIsNoOp is the zero-cost-when-disabled contract: every
+// operation on a nil registry and its nil instruments must be safe.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	g := r.Gauge("y")
+	g.Set(3.5)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge stored")
+	}
+	h := r.Histogram("z")
+	h.Observe(time.Second)
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("nil histogram observed")
+	}
+	sp := r.StartSpan("a")
+	if d := sp.Child("b").End(); d != 0 {
+		t.Fatal("nil span measured time")
+	}
+	sp.End()
+	if s := r.Snapshot(); s.Counters != nil || s.Histograms != nil {
+		t.Fatal("nil registry produced a non-empty snapshot")
+	}
+	if r.SpanReport() != "" {
+		t.Fatal("nil registry produced a span report")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountersGaugesAndLookupIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("sweep/jobs")
+	b := r.Counter("sweep/jobs")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	a.Add(3)
+	b.Inc()
+	b.AddUint64(2)
+	if a.Value() != 6 {
+		t.Fatalf("counter = %d, want 6", a.Value())
+	}
+	b.AddUint64(math.MaxUint64) // saturates instead of wrapping negative
+	if a.Value() < 6 {
+		t.Fatalf("counter wrapped negative: %d", a.Value())
+	}
+	g := r.Gauge("util")
+	g.Set(0.75)
+	if g.Value() != 0.75 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+}
+
+// TestHistogramBuckets pins the bucket layout: ≤1µs in bucket 0,
+// power-of-two upper bounds after, catch-all at the top.
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+		{24 * time.Hour, numBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := bucketIndex(tc.d); got != tc.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+		if tc.want < numBuckets-1 && BucketBound(tc.want) < tc.d {
+			t.Errorf("bucket %d bound %v below its member %v", tc.want, BucketBound(tc.want), tc.d)
+		}
+	}
+	h := NewRegistry().Histogram("lat")
+	h.Observe(time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(-time.Second) // clamps to 0
+	s := h.snapshot()
+	if s.Count != 3 || s.MinNS != 0 || s.MaxNS != int64(3*time.Millisecond) {
+		t.Fatalf("snapshot %+v", s)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != 3 {
+		t.Fatalf("bucket counts sum to %d, want 3", total)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewRegistry().Histogram("lat")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestSpansAggregateAndReport(t *testing.T) {
+	r := NewRegistry()
+	exp := r.StartSpan("exp/fig9")
+	for i := 0; i < 3; i++ {
+		sw := exp.Child("sweep")
+		time.Sleep(time.Millisecond)
+		if sw.End() <= 0 {
+			t.Fatal("span measured nothing")
+		}
+	}
+	exp.End()
+	s := r.Snapshot()
+	sw, ok := s.Spans["exp/fig9/sweep"]
+	if !ok || sw.Count != 3 || sw.TotalNS <= 0 || sw.MeanNS <= 0 {
+		t.Fatalf("sweep span %+v (ok=%v)", sw, ok)
+	}
+	if s.Spans["exp/fig9"].Count != 1 {
+		t.Fatalf("parent span %+v", s.Spans["exp/fig9"])
+	}
+	rep := r.SpanReport()
+	if !strings.Contains(rep, "sweep") || !strings.Contains(rep, "×3") ||
+		!strings.Contains(rep, "% of exp/fig9") {
+		t.Fatalf("span report missing structure:\n%s", rep)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("memsim/l1/hits").Add(42)
+	r.Gauge("sweep/worker_utilization").Set(0.9)
+	r.Histogram("sweep/job_latency").Observe(2 * time.Millisecond)
+	m := NewManifest("test")
+	m.Workers = 4
+	m.Machines = []string{"broadwell/ddr"}
+	m.ConfigHash = Hash(1, "x")
+	m.Finish()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["memsim/l1/hits"] != 42 {
+		t.Fatalf("counters %+v", s.Counters)
+	}
+	if s.Gauges["sweep/worker_utilization"] != 0.9 {
+		t.Fatalf("gauges %+v", s.Gauges)
+	}
+	if s.Histograms["sweep/job_latency"].Count != 1 {
+		t.Fatalf("histograms %+v", s.Histograms)
+	}
+	if s.Manifest == nil || s.Manifest.GoVersion == "" || s.Manifest.WallMS < 0 ||
+		s.Manifest.Tool != "test" || len(s.Manifest.Machines) != 1 {
+		t.Fatalf("manifest %+v", s.Manifest)
+	}
+}
+
+func TestHashIsStableAndDiscriminating(t *testing.T) {
+	if Hash(1, "a") != Hash(1, "a") {
+		t.Fatal("hash unstable")
+	}
+	if Hash(1, "a") == Hash(2, "a") || Hash(1) == Hash(1, "") {
+		t.Fatal("hash collides on trivially different configs")
+	}
+}
+
+func TestParseLevelAndLoggers(t *testing.T) {
+	for s, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "Info": slog.LevelInfo,
+		"WARN": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	var buf bytes.Buffer
+	NewLogger(&buf, slog.LevelInfo, false).Info("hello", "k", 1)
+	if !strings.Contains(buf.String(), "hello") {
+		t.Fatal("text logger wrote nothing")
+	}
+	buf.Reset()
+	NewLogger(&buf, slog.LevelInfo, true).Info("hello")
+	if !strings.Contains(buf.String(), `"msg":"hello"`) {
+		t.Fatalf("json logger output %q", buf.String())
+	}
+	nop := NopLogger()
+	if nop.Enabled(nil, slog.LevelError) { //nolint:staticcheck // nil ctx fine for handler
+		t.Fatal("nop logger claims to be enabled")
+	}
+	nop.Info("dropped")
+}
+
+// TestServeEndpoints boots the debug server on an ephemeral port and
+// exercises /metrics, /debug/vars and a pprof index fetch.
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sweep/jobs").Add(7)
+	m := NewManifest("test")
+	srv, addr, err := Serve("127.0.0.1:0", r, func() *Manifest { return m })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr.String() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, `"sweep/jobs": 7`) ||
+		!strings.Contains(body, `"tool": "test"`) {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "opm") {
+		t.Fatalf("/debug/vars missing registry:\n%s", body)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("pprof cmdline empty")
+	}
+}

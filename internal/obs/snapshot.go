@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// BucketSnapshot is one non-empty histogram bucket. LeNS is the
+// inclusive upper bound in nanoseconds, -1 for the catch-all bucket.
+type BucketSnapshot struct {
+	LeNS  int64 `json:"le_ns"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is the point-in-time state of one histogram.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	SumNS   int64            `json:"sum_ns"`
+	MinNS   int64            `json:"min_ns"`
+	MaxNS   int64            `json:"max_ns"`
+	MeanNS  int64            `json:"mean_ns"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// Snapshot is a consistent-enough point-in-time dump of a registry:
+// counters and gauges by name, histograms with their non-empty
+// buckets, span aggregates, and optionally the run manifest.
+// encoding/json renders map keys sorted, so a snapshot of a finished
+// run marshals deterministically given deterministic metric values.
+type Snapshot struct {
+	Manifest   *Manifest                    `json:"manifest,omitempty"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      map[string]SpanSnapshot      `json:"spans,omitempty"`
+}
+
+// Snapshot captures the registry's current state. Safe on a nil
+// registry (returns an empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.snapshot()
+		}
+	}
+	if len(r.spans) > 0 {
+		s.Spans = make(map[string]SpanSnapshot, len(r.spans))
+		for path, st := range r.spans {
+			n, ns := st.count.Load(), st.ns.Load()
+			sp := SpanSnapshot{Count: n, TotalNS: ns}
+			if n > 0 {
+				sp.MeanNS = ns / n
+			}
+			s.Spans[path] = sp
+		}
+	}
+	return s
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		SumNS: h.sum.Load(),
+		MaxNS: h.max.Load(),
+	}
+	if min := h.min.Load(); min != math.MaxInt64 {
+		s.MinNS = min
+	}
+	if s.Count > 0 {
+		s.MeanNS = s.SumNS / s.Count
+	}
+	for i := 0; i < numBuckets; i++ {
+		if n := h.counts[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, BucketSnapshot{LeNS: int64(BucketBound(i)), Count: n})
+		}
+	}
+	return s
+}
+
+// WriteJSON marshals a snapshot (with the given manifest, which may be
+// nil) as indented JSON. Safe on a nil registry — the dump then holds
+// only the manifest.
+func (r *Registry) WriteJSON(w io.Writer, m *Manifest) error {
+	s := r.Snapshot()
+	s.Manifest = m
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteFile dumps the registry (and manifest) to path as JSON.
+func (r *Registry) WriteFile(path string, m *Manifest) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	werr := r.WriteJSON(f, m)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("obs: writing %s: %w", path, werr)
+	}
+	return nil
+}

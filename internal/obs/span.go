@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// spanStat aggregates every End() of one span path.
+type spanStat struct {
+	count atomic.Int64
+	ns    atomic.Int64
+}
+
+// Span measures the wall time of one phase of a run. Spans are
+// hierarchical by path: "exp/fig9" is the parent of "exp/fig9/sweep",
+// and SpanReport renders the nesting with per-phase shares. Unlike a
+// tracing system, spans here aggregate — ending two spans with the
+// same path accumulates count and total time, which is exactly what a
+// sweep of thousands of identical jobs needs.
+type Span struct {
+	reg   *Registry
+	path  string
+	start time.Time
+}
+
+// StartSpan begins a span at the given slash-separated path. On a nil
+// registry it returns a nil span whose methods all no-op, so phase
+// timing costs nothing when telemetry is off.
+func (r *Registry) StartSpan(path string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{reg: r, path: path, start: time.Now()}
+}
+
+// Child starts a sub-span nested under this span's path. Safe on a
+// nil span (returns nil).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.reg.StartSpan(s.path + "/" + name)
+}
+
+// End records the span's wall time into its registry and returns it.
+// Safe on a nil span (returns 0). A span may be ended once; ending it
+// again records a second interval from the same start.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.reg.mu.RLock()
+	st, ok := s.reg.spans[s.path]
+	s.reg.mu.RUnlock()
+	if !ok {
+		s.reg.mu.Lock()
+		st, ok = s.reg.spans[s.path]
+		if !ok {
+			st = &spanStat{}
+			s.reg.spans[s.path] = st
+		}
+		s.reg.mu.Unlock()
+	}
+	st.count.Add(1)
+	st.ns.Add(int64(d))
+	return d
+}
+
+// SpanSnapshot is the aggregate of one span path.
+type SpanSnapshot struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+	MeanNS  int64 `json:"mean_ns"`
+}
+
+// SpanReport renders the recorded spans as an indented tree with total
+// time, invocation count, and each span's share of its parent — the
+// per-phase wall-time breakdown of a finished run. Returns "" when no
+// spans were recorded (or on a nil registry).
+func (r *Registry) SpanReport() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.RLock()
+	type row struct {
+		path  string
+		count int64
+		ns    int64
+	}
+	rows := make([]row, 0, len(r.spans))
+	for p, st := range r.spans {
+		rows = append(rows, row{p, st.count.Load(), st.ns.Load()})
+	}
+	r.mu.RUnlock()
+	if len(rows) == 0 {
+		return ""
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].path < rows[j].path })
+	total := map[string]int64{}
+	for _, rw := range rows {
+		total[rw.path] = rw.ns
+	}
+	var b strings.Builder
+	b.WriteString("phase breakdown (wall time):\n")
+	for _, rw := range rows {
+		depth := strings.Count(rw.path, "/")
+		name := rw.path
+		share := ""
+		if i := strings.LastIndex(rw.path, "/"); i >= 0 {
+			name = rw.path[i+1:]
+			if pt, ok := total[rw.path[:i]]; ok && pt > 0 {
+				share = fmt.Sprintf(" (%.0f%% of %s)", 100*float64(rw.ns)/float64(pt), rw.path[:i])
+			}
+		}
+		fmt.Fprintf(&b, "  %s%-24s %10s  ×%d%s\n",
+			strings.Repeat("  ", depth), name,
+			time.Duration(rw.ns).Round(time.Microsecond), rw.count, share)
+	}
+	return b.String()
+}

@@ -19,10 +19,12 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Engine configures one sweep run. The zero value is ready to use:
-// GOMAXPROCS workers and no progress reporting.
+// GOMAXPROCS workers, no progress reporting, no telemetry.
 type Engine struct {
 	// Workers bounds the pool size; <= 0 selects runtime.GOMAXPROCS(0).
 	// Workers = 1 reproduces the sequential path exactly (and is what
@@ -31,16 +33,34 @@ type Engine struct {
 	// Progress, when non-nil, is invoked (serialized) after every
 	// completed job with the sweep's advancement.
 	Progress func(Progress)
+	// Obs, when non-nil, receives sweep telemetry: per-job latency and
+	// queue-wait histograms, completed/failed/panicked job counters,
+	// and worker-utilization plus ETA gauges (see Map for the metric
+	// names). A nil registry costs one branch per job.
+	Obs *obs.Registry
 }
 
 // Progress is one advancement report of a running sweep.
 type Progress struct {
 	Done, Total int
 	Elapsed     time.Duration
-	// ETA estimates the remaining wall time by linear extrapolation of
-	// the completed fraction.
+	// ETA estimates the remaining wall time from the completed
+	// fraction, smoothed by an exponential moving average of the
+	// per-job rate so one slow cell does not whip the estimate
+	// around. It is zero (meaning "unknown") until at least two jobs
+	// have completed — extrapolating a 968-matrix sweep from its
+	// first finished cell produces garbage — and zero again once the
+	// sweep is done. It is never negative.
 	ETA time.Duration
 }
+
+// ETA smoothing parameters: estimates start after minETAJobs
+// completions and blend each new overall rate sample into the running
+// estimate with weight etaAlpha.
+const (
+	minETAJobs = 2
+	etaAlpha   = 0.25
+)
 
 // workerCount resolves the pool size for a job count.
 func (e *Engine) workerCount(jobs int) int {
@@ -141,6 +161,16 @@ func (w *Worker) Drop(key any) { delete(w.pool, key) }
 // and every unstarted job records the context error. The returned
 // error is nil when every job succeeded, otherwise the accumulated
 // Errors (sorted by job index).
+//
+// With e.Obs set, Map records:
+//
+//	sweep/jobs                jobs executed, successful or not (counter)
+//	sweep/job_errors          failed or skipped jobs (counter)
+//	sweep/job_panics          jobs that panicked (counter)
+//	sweep/job_latency         per-job run time (histogram)
+//	sweep/queue_wait          submission-to-start delay (histogram)
+//	sweep/worker_utilization  busy time / (workers × wall) (gauge)
+//	sweep/eta_seconds         smoothed remaining-time estimate (gauge)
 func Map[J, R any](ctx context.Context, e *Engine, jobs []J, fn func(ctx context.Context, w *Worker, job J) (R, error)) ([]R, error) {
 	if e == nil {
 		e = &Engine{}
@@ -150,34 +180,63 @@ func Map[J, R any](ctx context.Context, e *Engine, jobs []J, fn func(ctx context
 		return results, nil
 	}
 	var (
-		next  atomic.Int64
-		done  atomic.Int64
-		mu    sync.Mutex
-		errs  Errors
-		start = time.Now()
-		wg    sync.WaitGroup
+		next   atomic.Int64
+		done   atomic.Int64
+		busyNS atomic.Int64
+		mu     sync.Mutex
+		errs   Errors
+		start  = time.Now()
+		wg     sync.WaitGroup
+	)
+	// Instruments resolve once per sweep, not once per job; on a nil
+	// registry they are nil and every use below no-ops.
+	obsOn := e.Obs != nil
+	var (
+		mJobs   = e.Obs.Counter("sweep/jobs")
+		mErrs   = e.Obs.Counter("sweep/job_errors")
+		mPanics = e.Obs.Counter("sweep/job_panics")
+		mLat    = e.Obs.Histogram("sweep/job_latency")
+		mWait   = e.Obs.Histogram("sweep/queue_wait")
+		mUtil   = e.Obs.Gauge("sweep/worker_utilization")
+		mETA    = e.Obs.Gauge("sweep/eta_seconds")
 	)
 	total := len(jobs)
+	// etaRate is the EWMA-smoothed overall ns-per-job estimate,
+	// guarded by mu (report is serialized).
+	var etaRate float64
 	report := func() {
-		if e.Progress == nil {
+		if e.Progress == nil && !obsOn {
 			return
 		}
 		d := int(done.Load())
 		elapsed := time.Since(start)
-		var eta time.Duration
-		if d > 0 && d < total {
-			eta = time.Duration(float64(elapsed) / float64(d) * float64(total-d))
-		}
 		mu.Lock()
-		e.Progress(Progress{Done: d, Total: total, Elapsed: elapsed, ETA: eta})
+		var eta time.Duration
+		if d >= minETAJobs && d < total {
+			rate := float64(elapsed) / float64(d)
+			if etaRate == 0 {
+				etaRate = rate
+			} else {
+				etaRate += etaAlpha * (rate - etaRate)
+			}
+			if eta = time.Duration(etaRate * float64(total-d)); eta < 0 {
+				eta = 0
+			}
+		}
+		mETA.Set(eta.Seconds())
+		if e.Progress != nil {
+			e.Progress(Progress{Done: d, Total: total, Elapsed: elapsed, ETA: eta})
+		}
 		mu.Unlock()
 	}
 	fail := func(i int, err error) {
+		mErrs.Inc()
 		mu.Lock()
 		errs = append(errs, &JobError{Index: i, Err: err})
 		mu.Unlock()
 	}
-	for wi := 0; wi < e.workerCount(total); wi++ {
+	workers := e.workerCount(total)
+	for wi := 0; wi < workers; wi++ {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
@@ -193,10 +252,21 @@ func Map[J, R any](ctx context.Context, e *Engine, jobs []J, fn func(ctx context
 					fail(i, err)
 					continue
 				}
-				if r, err := runJob(ctx, w, jobs[i], fn); err != nil {
+				var t0 time.Time
+				if obsOn {
+					t0 = time.Now()
+					mWait.Observe(t0.Sub(start))
+				}
+				if r, err := runJob(ctx, w, jobs[i], fn, mPanics); err != nil {
 					fail(i, err)
 				} else {
 					results[i] = r
+				}
+				if obsOn {
+					d := time.Since(t0)
+					busyNS.Add(int64(d))
+					mLat.Observe(d)
+					mJobs.Inc()
 				}
 				done.Add(1)
 				report()
@@ -204,6 +274,11 @@ func Map[J, R any](ctx context.Context, e *Engine, jobs []J, fn func(ctx context
 		}(wi)
 	}
 	wg.Wait()
+	if obsOn {
+		if wall := time.Since(start); wall > 0 {
+			mUtil.Set(float64(busyNS.Load()) / (float64(wall) * float64(workers)))
+		}
+	}
 	if len(errs) == 0 {
 		return results, nil
 	}
@@ -213,10 +288,11 @@ func Map[J, R any](ctx context.Context, e *Engine, jobs []J, fn func(ctx context
 
 // runJob invokes fn with panic containment: a panicking cell (e.g. a
 // buffer bounds violation in a trace generator) becomes that job's
-// error instead of killing the whole sweep.
-func runJob[J, R any](ctx context.Context, w *Worker, job J, fn func(context.Context, *Worker, J) (R, error)) (r R, err error) {
+// error instead of killing the whole sweep, counted on panics.
+func runJob[J, R any](ctx context.Context, w *Worker, job J, fn func(context.Context, *Worker, J) (R, error), panics *obs.Counter) (r R, err error) {
 	defer func() {
 		if p := recover(); p != nil {
+			panics.Inc()
 			err = fmt.Errorf("sweep: job panicked: %v", p)
 		}
 	}()

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // TestMapPreservesSubmissionOrder checks results land at their job's
@@ -184,6 +186,95 @@ func TestProgressReporting(t *testing.T) {
 	}
 	if last.Done != len(jobs) || last.Total != len(jobs) {
 		t.Fatalf("final progress %+v", last)
+	}
+}
+
+// TestETAIsGuardedAndSmoothed pins the ETA contract: unknown (zero)
+// on the first completed job of a sweep — one sample is not a trend —
+// positive mid-sweep, zero again at completion, and never negative.
+func TestETAIsGuardedAndSmoothed(t *testing.T) {
+	reg := obs.NewRegistry()
+	var reports []Progress
+	e := &Engine{Workers: 1, Obs: reg, Progress: func(p Progress) {
+		reports = append(reports, p)
+	}}
+	jobs := make([]int, 8)
+	if _, err := Map(context.Background(), e, jobs, func(_ context.Context, _ *Worker, j int) (int, error) {
+		time.Sleep(2 * time.Millisecond)
+		return j, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(jobs) {
+		t.Fatalf("%d reports, want %d", len(reports), len(jobs))
+	}
+	for _, p := range reports {
+		if p.ETA < 0 {
+			t.Fatalf("negative ETA: %+v", p)
+		}
+		switch {
+		case p.Done < minETAJobs:
+			if p.ETA != 0 {
+				t.Fatalf("ETA %v extrapolated from %d job(s)", p.ETA, p.Done)
+			}
+		case p.Done == p.Total:
+			if p.ETA != 0 {
+				t.Fatalf("finished sweep still reports ETA %v", p.ETA)
+			}
+		default:
+			if p.ETA == 0 {
+				t.Fatalf("mid-sweep report lost its ETA: %+v", p)
+			}
+		}
+	}
+	// The last mid-sweep ETA also lands in the gauge before the final
+	// report zeroes it.
+	if got := reg.Gauge("sweep/eta_seconds").Value(); got != 0 {
+		t.Fatalf("eta gauge not cleared at completion: %v", got)
+	}
+}
+
+// TestMapRecordsTelemetry checks the engine's registry metrics: job
+// and error counters, latency/queue-wait histograms, and a worker
+// utilization in (0, 1].
+func TestMapRecordsTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := &Engine{Workers: 2, Obs: reg}
+	jobs := make([]int, 12)
+	for i := range jobs {
+		jobs[i] = i
+	}
+	_, err := Map(context.Background(), e, jobs, func(_ context.Context, _ *Worker, j int) (int, error) {
+		time.Sleep(time.Millisecond)
+		switch j {
+		case 3:
+			return 0, errors.New("bad cell")
+		case 7:
+			panic("modelled segfault")
+		}
+		return j, nil
+	})
+	var errs Errors
+	if !errors.As(err, &errs) || len(errs) != 2 {
+		t.Fatalf("want 2 job errors, got %v", err)
+	}
+	if got := reg.Counter("sweep/jobs").Value(); got != int64(len(jobs)) {
+		t.Fatalf("sweep/jobs = %d, want %d", got, len(jobs))
+	}
+	if got := reg.Counter("sweep/job_errors").Value(); got != 2 {
+		t.Fatalf("sweep/job_errors = %d, want 2", got)
+	}
+	if got := reg.Counter("sweep/job_panics").Value(); got != 1 {
+		t.Fatalf("sweep/job_panics = %d, want 1", got)
+	}
+	if got := reg.Histogram("sweep/job_latency").Count(); got != int64(len(jobs)) {
+		t.Fatalf("job_latency count = %d, want %d", got, len(jobs))
+	}
+	if got := reg.Histogram("sweep/queue_wait").Count(); got != int64(len(jobs)) {
+		t.Fatalf("queue_wait count = %d, want %d", got, len(jobs))
+	}
+	if util := reg.Gauge("sweep/worker_utilization").Value(); util <= 0 || util > 1 {
+		t.Fatalf("worker utilization %v outside (0, 1]", util)
 	}
 }
 

@@ -13,5 +13,15 @@ pkgs="${*:-./...}"
 echo "== go vet $pkgs"
 go vet $pkgs
 
+# staticcheck is optional: it is not vendored and this gate must work
+# in hermetic containers that cannot install tools. When present it
+# runs as a hard check; when absent we say so and move on.
+if command -v staticcheck >/dev/null 2>&1; then
+	echo "== staticcheck $pkgs"
+	staticcheck $pkgs
+else
+	echo "== staticcheck: not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"
+fi
+
 echo "== go test -race $pkgs"
 go test -race $pkgs
