@@ -1,6 +1,6 @@
 # Convenience targets; see scripts/check.sh for the full gate.
 
-.PHONY: build test check bench bench-obs profile
+.PHONY: build test check bench bench-obs bench-store profile
 
 build:
 	go build ./...
@@ -18,6 +18,11 @@ bench:
 # Telemetry overhead guard: enabled registry vs disabled on the same sweep.
 bench-obs:
 	go test -bench=BenchmarkObsOverhead -benchtime=3x -run=^$$ .
+
+# Result-store payoff: no store vs cold (journal everything) vs warm
+# (every job answered from the journal, zero simulation).
+bench-store:
+	go test -bench=BenchmarkStoreWarmVsCold -benchtime=3x -run=^$$ .
 
 # Profile a short dense sweep with live pprof plus a CPU profile and a
 # metrics dump under prof/. Inspect with: go tool pprof prof/opmbench.cpu

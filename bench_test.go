@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // benchExperiment runs one harness experiment per benchmark iteration.
@@ -74,6 +75,80 @@ func BenchmarkObsOverhead(b *testing.B) {
 	b.Run("enabled", func(b *testing.B) {
 		o := harness.Options{Stride: 48, Obs: obs.NewRegistry()}
 		benchExperimentOpts(b, "fig9", o)
+	})
+}
+
+// BenchmarkStoreWarmVsCold quantifies the persistent result store:
+// "cold" opens a fresh store per iteration, so every job simulates and
+// commits; "warm" runs the same sweep against a prepopulated store, so
+// every job is a journal lookup and the sweep pool never starts. The
+// gap is the simulation time the store saves on reruns; the cold/none
+// gap is the journaling overhead, which should be noise next to the
+// simulator-bound jobs.
+func BenchmarkStoreWarmVsCold(b *testing.B) {
+	opt := harness.Options{Stride: 48}
+	e, err := harness.Get("fig9")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, st *store.Store) {
+		b.Helper()
+		o := opt
+		o.Store = st
+		rep, err := e.Run(context.Background(), o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Findings) == 0 {
+			b.Fatal("fig9 produced no findings")
+		}
+	}
+	b.Run("none", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, nil)
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st, err := store.Open(b.TempDir(), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			run(b, st)
+			b.StopTimer()
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		st, err := store.Open(dir, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, st) // populate
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st, err := store.Open(dir, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			run(b, st)
+			b.StopTimer()
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
 	})
 }
 

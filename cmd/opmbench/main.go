@@ -17,6 +17,10 @@
 //	opmbench -exp fig9 -workers 1       # sequential baseline
 //	opmbench -exp all -timeout 10m      # bound the whole run
 //	opmbench -exp fig9 -progress        # live done/total/ETA on stderr
+//	opmbench -exp all -store cache      # checkpoint results; rerun is warm
+//	opmbench -exp all -store cache -resume   # continue an interrupted run
+//	opmbench -exp fig9 -store cache -force   # recompute, overwrite cache
+//	opmbench -exp all -strict           # dropped jobs fail the run
 //	opmbench -exp fig9 -metrics out.json       # manifest + registry dump
 //	opmbench -exp fig9 -log-level debug        # structured logs on stderr
 //	opmbench -exp all -pprof localhost:6060    # live pprof/expvar/metrics
@@ -36,6 +40,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/sweep"
 )
 
@@ -54,6 +59,11 @@ func run() int {
 		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 		progress = flag.Bool("progress", false, "report sweep progress (done/total/ETA) on stderr")
+		strict   = flag.Bool("strict", false, "exit non-zero when a sweep dropped jobs (partial reports are still written)")
+
+		storeDir = flag.String("store", "", "persistent result store directory: cached jobs are reused, completed jobs are checkpointed as they finish")
+		resume   = flag.Bool("resume", false, "continue an interrupted run from an existing -store (errors if the store does not exist yet)")
+		force    = flag.Bool("force", false, "with -store: recompute every job, overwriting cached entries")
 
 		metrics    = flag.String("metrics", "", "write manifest + metrics registry as JSON to this file at exit")
 		logLevel   = flag.String("log-level", "", "structured logging on stderr at this level (debug|info|warn|error; off when empty)")
@@ -64,14 +74,28 @@ func run() int {
 	flag.Parse()
 
 	if *list {
-		for _, e := range harness.RegistryWithExtensions() {
-			fmt.Printf("%-14s %s\n", e.ID, e.Title)
-		}
+		fmt.Print(harness.List())
 		return 0
 	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "opmbench: -exp required (or -list); e.g. -exp fig7 or -exp all")
 		return 2
+	}
+	if *resume && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "opmbench: -resume requires -store")
+		return 2
+	}
+	if *force && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "opmbench: -force requires -store")
+		return 2
+	}
+	if *resume {
+		// -resume promises to continue earlier work; a missing directory
+		// means there is nothing to continue (likely a typo'd path).
+		if _, err := os.Stat(*storeDir); err != nil {
+			fmt.Fprintf(os.Stderr, "opmbench: -resume: nothing to resume at %s: %v\n", *storeDir, err)
+			return 2
+		}
 	}
 
 	var ids []string
@@ -105,7 +129,7 @@ func run() int {
 	manifest := obs.NewManifest("opmbench")
 	manifest.Workers = *workers
 	manifest.Machines = harness.PlatformMatrix()
-	manifest.ConfigHash = obs.Hash(*exp, *full, *workers, timeout.String())
+	manifest.ConfigHash = obs.Hash(*exp, *full, *workers, timeout.String(), *storeDir, *resume, *force, *strict)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -155,7 +179,23 @@ func run() int {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opt := harness.Options{Full: *full, OutDir: *out, Workers: *workers, Obs: reg, Log: logger}
+	opt := harness.Options{Full: *full, OutDir: *out, Workers: *workers, Obs: reg, Log: logger, Force: *force}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "opmbench:", err)
+			return 2
+		}
+		defer func() {
+			stats := st.Stats()
+			if err := st.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "opmbench: store close:", err)
+			}
+			fmt.Fprintf(os.Stderr, "opmbench: store %s: %d cached hits, %d misses, %d committed, %d live entries\n",
+				*storeDir, stats.Hits, stats.Misses, stats.Commits, st.Len())
+		}()
+		opt.Store = st
+	}
 	if *progress {
 		opt.Progress = func(p sweep.Progress) {
 			fmt.Fprintf(os.Stderr, "\rsweep %d/%d (eta %s)   ", p.Done, p.Total, p.ETA.Round(time.Second))
@@ -196,6 +236,10 @@ func run() int {
 		}
 		if err := rep.WriteCSVs(*out); err != nil {
 			fmt.Fprintln(os.Stderr, "opmbench:", err)
+			failed = true
+		}
+		if *strict && rep.Dropped > 0 {
+			fmt.Fprintf(os.Stderr, "opmbench: -strict: %s dropped %d job(s); partial report written\n", e.ID, rep.Dropped)
 			failed = true
 		}
 		fmt.Println()

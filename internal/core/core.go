@@ -18,6 +18,14 @@ import (
 	"repro/internal/trace"
 )
 
+// ModelVersion names the current generation of the simulator + timing
+// model. It is the first component of every persistent-store digest,
+// so bumping it (required whenever a change to memsim, trace, or the
+// tuning tables alters any result) invalidates all previously cached
+// results at once instead of serving numbers the current model would
+// not reproduce.
+const ModelVersion = "opm-model/1"
+
 // Tuning carries the per-kernel model parameters of Table 2 and the
 // timing model: thread policy (SMT column), memory-level parallelism,
 // and per-platform compute efficiency (how close the benchmarked
@@ -241,11 +249,19 @@ type DenseJob struct {
 // cache and traffic counters are accumulated into the registry
 // (memsim.Sim.RecordMetrics).
 func RunBatch(ctx context.Context, eng *sweep.Engine, jobs []Job) ([]memsim.Result, error) {
+	return RunBatchCached(ctx, eng, jobs, nil)
+}
+
+// RunBatchCached is RunBatch with a persistent-store hook: jobs whose
+// digest is cached bypass simulation entirely, and every simulated
+// job is committed as it completes (see sweep.MapCached). A nil cache
+// reproduces RunBatch exactly.
+func RunBatchCached(ctx context.Context, eng *sweep.Engine, jobs []Job, cache sweep.Cache[Job, memsim.Result]) ([]memsim.Result, error) {
 	var reg *obs.Registry
 	if eng != nil {
 		reg = eng.Obs
 	}
-	return sweep.Map(ctx, eng, jobs, func(_ context.Context, w *sweep.Worker, j Job) (memsim.Result, error) {
+	return sweep.MapCached(ctx, eng, jobs, cache, func(_ context.Context, w *sweep.Worker, j Job) (memsim.Result, error) {
 		sim, err := j.Machine.PooledSim(w)
 		if err != nil {
 			return memsim.Result{}, err
@@ -263,7 +279,13 @@ func RunBatch(ctx context.Context, eng *sweep.Engine, jobs []Job) ([]memsim.Resu
 // RunDenseBatch executes analytic dense-model jobs on the sweep engine
 // and returns their results in submission order.
 func RunDenseBatch(ctx context.Context, eng *sweep.Engine, jobs []DenseJob) ([]memsim.Result, error) {
-	return sweep.Map(ctx, eng, jobs, func(_ context.Context, _ *sweep.Worker, j DenseJob) (memsim.Result, error) {
+	return RunDenseBatchCached(ctx, eng, jobs, nil)
+}
+
+// RunDenseBatchCached is RunDenseBatch with a persistent-store hook;
+// a nil cache reproduces RunDenseBatch exactly.
+func RunDenseBatchCached(ctx context.Context, eng *sweep.Engine, jobs []DenseJob, cache sweep.Cache[DenseJob, memsim.Result]) ([]memsim.Result, error) {
+	return sweep.MapCached(ctx, eng, jobs, cache, func(_ context.Context, _ *sweep.Worker, j DenseJob) (memsim.Result, error) {
 		r, err := j.Machine.RunDense(j.Kind, j.N, j.NB)
 		if err != nil {
 			return memsim.Result{}, fmt.Errorf("core: %s n=%d nb=%d on %s: %w", j.Kind, j.N, j.NB, j.Machine.Label(), err)

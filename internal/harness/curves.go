@@ -72,9 +72,15 @@ func runCurves(ctx context.Context, platName, kernel string, opt Options) ([]cur
 	fps := curveFootprints(plat, opt)
 	opt.logger().Debug("curve sweep starting", "platform", platName, "kernel", kernel,
 		"points", len(fps), "modes", len(machines))
+	// One footprint point runs every mode, so the machine-set hash
+	// (plus the scale the workload builder consumes) is the config
+	// component and the footprint is the job key.
+	cache := cacheFor[int64, curvePoint](opt, "curve/"+kernel,
+		machinesHash(machines, plat.Scale),
+		func(fp int64) string { return fmt.Sprint(fp) })
 	sp := opt.Obs.StartSpan("curves/" + platName + "/" + kernel + "/sweep")
 	defer sp.End()
-	pts, err := sweep.Map(ctx, opt.engine(), fps,
+	pts, err := sweep.MapCached(ctx, opt.engine(), fps, cache,
 		func(_ context.Context, w *sweep.Worker, fp int64) (curvePoint, error) {
 			simFP := plat.ScaledBytes(fp)
 			if simFP < 4096 {

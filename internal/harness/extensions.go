@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/memsim"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/plot"
 	"repro/internal/sweep"
@@ -67,23 +68,28 @@ func runExtSkylake(ctx context.Context, opt Options) (*Report, error) {
 		points = opt.CurvePoints
 	}
 	fps := logSpace(1<<20, 1<<30, points)
-	type triple struct{ ddr, victim, memside float64 }
-	triples, err := sweep.Map(ctx, opt.engine(), fps,
-		func(_ context.Context, sw *sweep.Worker, fp int64) (triple, error) {
+	// arrangementGBs is one footprint's triad bandwidth under the
+	// three eDRAM arrangements; exported fields for the store.
+	type arrangementGBs struct{ DDR, Victim, MemSide float64 }
+	cache := cacheFor[int64, arrangementGBs](opt, "ext/skylake",
+		machinesHash([]*core.Machine{mDDR, mBrd, mSky}, brd.Scale),
+		func(fp int64) string { return fmt.Sprint(fp) })
+	triples, err := sweep.MapCached(ctx, opt.engine(), fps, cache,
+		func(_ context.Context, sw *sweep.Worker, fp int64) (arrangementGBs, error) {
 			w := trace.NewStream(brd.ScaledBytes(fp))
 			appB := 32.0 / 2.0 * w.Flops()
-			var t triple
+			var t arrangementGBs
 			for _, leg := range []struct {
 				m   *core.Machine
 				out *float64
-			}{{mDDR, &t.ddr}, {mBrd, &t.victim}, {mSky, &t.memside}} {
+			}{{mDDR, &t.DDR}, {mBrd, &t.Victim}, {mSky, &t.MemSide}} {
 				sim, err := leg.m.PooledSim(sw)
 				if err != nil {
-					return triple{}, err
+					return arrangementGBs{}, err
 				}
 				r, err := leg.m.RunOn(sim, w)
 				if err != nil {
-					return triple{}, fmt.Errorf("triad at %d MB on %s: %w", fp>>20, leg.m.Label(), err)
+					return arrangementGBs{}, fmt.Errorf("triad at %d MB on %s: %w", fp>>20, leg.m.Label(), err)
 				}
 				*leg.out = appB / r.Seconds / 1e9
 			}
@@ -106,11 +112,11 @@ func runExtSkylake(ctx context.Context, opt Options) (*Report, error) {
 	}
 	var vSum, mSum float64
 	for i, fp := range fps {
-		add("ddr", fp, triples[i].ddr)
-		add("victim", fp, triples[i].victim)
-		add("memoryside", fp, triples[i].memside)
-		vSum += triples[i].victim
-		mSum += triples[i].memside
+		add("ddr", fp, triples[i].DDR)
+		add("victim", fp, triples[i].Victim)
+		add("memoryside", fp, triples[i].MemSide)
+		vSum += triples[i].Victim
+		mSum += triples[i].MemSide
 	}
 	var b strings.Builder
 	b.WriteString(plot.Lines("eDRAM arrangement: victim (CPU-side) vs memory-side, STREAM GB/s vs footprint (MB)",
@@ -145,39 +151,52 @@ func runExtMultiuser(ctx context.Context, opt Options) (*Report, error) {
 		{platform.KNL(), memsim.ModeCache, 4 << 30},        // 2x4GB < 16GB
 		{platform.KNL(), memsim.ModeCache, 12 << 30},       // 2x12GB > 16GB
 	}
-	type tenancy struct{ solo, shared float64 }
-	outcomes, err := sweep.Map(ctx, opt.engine(), cases,
-		func(_ context.Context, w *sweep.Worker, tc scenario) (tenancy, error) {
+	// tenancyGBs is one scenario's per-tenant bandwidth, isolated and
+	// co-scheduled; exported fields for the store. Each scenario
+	// builds its machine inside the job, so its simulator
+	// configuration is hashed into the job key instead of a sweep-
+	// level config hash.
+	type tenancyGBs struct{ Solo, Shared float64 }
+	cache := cacheFor[scenario, tenancyGBs](opt, "ext/multiuser", "",
+		func(tc scenario) string {
+			cfg, err := tc.plat.Config(tc.mode)
+			if err != nil {
+				return fmt.Sprintf("badcfg|%s|%s|%d", tc.plat.Name, tc.mode, tc.fp)
+			}
+			return fmt.Sprintf("%s|%d|%d", obs.Hash(cfg), tc.plat.Scale, tc.fp)
+		})
+	outcomes, err := sweep.MapCached(ctx, opt.engine(), cases, cache,
+		func(_ context.Context, w *sweep.Worker, tc scenario) (tenancyGBs, error) {
 			m, err := core.NewMachine(tc.plat, tc.mode)
 			if err != nil {
-				return tenancy{}, err
+				return tenancyGBs{}, err
 			}
 			sim, err := m.PooledSim(w)
 			if err != nil {
-				return tenancy{}, err
+				return tenancyGBs{}, err
 			}
 			simFP := tc.plat.ScaledBytes(tc.fp)
 			solo := trace.NewStream(simFP)
 			rSolo, err := m.RunOn(sim, solo)
 			if err != nil {
-				return tenancy{}, err
+				return tenancyGBs{}, err
 			}
 			co := trace.NewCoStream(simFP, simFP)
 			rCo, err := m.RunOn(sim, co)
 			if err != nil {
-				return tenancy{}, err
+				return tenancyGBs{}, err
 			}
 			// Each tenant gets half the shared run's service.
-			return tenancy{
-				solo:   32.0 / 2.0 * solo.Flops() / rSolo.Seconds / 1e9,
-				shared: 32.0 / 2.0 * co.Flops() / 2 / rCo.Seconds / 1e9,
+			return tenancyGBs{
+				Solo:   32.0 / 2.0 * solo.Flops() / rSolo.Seconds / 1e9,
+				Shared: 32.0 / 2.0 * co.Flops() / 2 / rCo.Seconds / 1e9,
 			}, nil
 		})
 	if err != nil {
 		return nil, err
 	}
 	for i, tc := range cases {
-		soloGBs, perTenant := outcomes[i].solo, outcomes[i].shared
+		soloGBs, perTenant := outcomes[i].Solo, outcomes[i].Shared
 		interference := soloGBs / perTenant
 		fmt.Fprintf(&b, "%-10s %-7s tenant %4d MB: isolated %6.1f GB/s, shared %6.1f GB/s -> %.2fx slowdown\n",
 			tc.plat.Name, tc.mode, tc.fp>>20, soloGBs, perTenant, interference)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/memsim"
 	"repro/internal/obs"
 	"repro/internal/platform"
+	"repro/internal/store"
 	"repro/internal/sweep"
 )
 
@@ -54,6 +55,17 @@ type Options struct {
 	// Log, when non-nil, receives structured run logs (experiment
 	// start/finish, sweep sizes, dropped cells). Nil disables logging.
 	Log *slog.Logger
+	// Store, when non-nil, memoizes per-job sweep results: cached
+	// jobs bypass the worker pool (warm runs execute zero simulator
+	// jobs) and completed jobs are journaled as they finish, so an
+	// interrupted run resumes from its last checkpoint. A warm or
+	// resumed run renders byte-identical Text/CSV/Findings to a cold
+	// one (see DESIGN.md §8).
+	Store *store.Store
+	// Force disables store lookups (every job recomputes) while still
+	// committing results, overwriting existing entries — the recovery
+	// path when cached results are suspect.
+	Force bool
 }
 
 // engine builds the sweep engine the option set describes.
@@ -81,6 +93,10 @@ type Report struct {
 	CSV      map[string][]string // file name -> lines (header first)
 	Findings []string            // headline paper-vs-measured notes
 	Manifest *obs.Manifest       // run provenance (attached by instrument)
+	// Dropped counts survivable per-job sweep failures behind the
+	// report's WARNING findings — what opmbench -strict turns into a
+	// non-zero exit while still writing the partial report.
+	Dropped int
 }
 
 // Experiment is one reproducible table or figure. Run's context
@@ -191,18 +207,26 @@ func RegistryWithExtensions() []Experiment {
 }
 
 // Get returns the experiment with the given ID (paper experiments and
-// extensions alike).
+// extensions alike). An unknown ID's error carries the full registry
+// listing, so a typo at the command line answers itself.
 func Get(id string) (Experiment, error) {
 	for _, e := range RegistryWithExtensions() {
 		if e.ID == id {
 			return e, nil
 		}
 	}
-	var ids []string
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q; known experiments:\n%s", id, List())
+}
+
+// List renders the experiment-ID registry, one "id  description" line
+// per experiment in paper order (extensions last) — what opmbench
+// -list prints and what an unknown -exp error embeds.
+func List() string {
+	var b strings.Builder
 	for _, e := range RegistryWithExtensions() {
-		ids = append(ids, e.ID)
+		fmt.Fprintf(&b, "  %-14s %s\n", e.ID, e.Title)
 	}
-	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (known: %s)", id, strings.Join(ids, ", "))
+	return b.String()
 }
 
 // IDs lists the paper experiment IDs in order (extensions excluded;
@@ -276,6 +300,7 @@ func machineSet(platName string) (base *core.Machine, opm []*core.Machine, plat 
 // submission order, so a truncated sweep is never silent and no
 // dropped matrix hides behind a "N jobs failed" summary.
 func sweepWarning(rep *Report, errs sweep.Errors) {
+	rep.Dropped += len(errs)
 	for _, e := range errs {
 		rep.Findings = append(rep.Findings, "WARNING: dropped "+e.Error())
 	}

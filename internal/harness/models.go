@@ -191,7 +191,7 @@ func runFig1(ctx context.Context, opt Options) (*Report, error) {
 				jobs = append(jobs, core.DenseJob{Machine: m, Kind: trace.DenseGEMM, N: n, NB: nb})
 			}
 		}
-		results, err := core.RunDenseBatch(ctx, opt.engine(), jobs)
+		results, err := core.RunDenseBatchCached(ctx, opt.engine(), jobs, denseCache(opt))
 		if err != nil {
 			return nil, err
 		}

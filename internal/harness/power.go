@@ -5,12 +5,19 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/memsim"
 	"repro/internal/plot"
 	"repro/internal/power"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 )
+
+// powerPair is one kernel's (baseline, OPM) representative-input run
+// pair. Fields are exported so the persistent store can round-trip it.
+type powerPair struct {
+	Base, OPM memsim.Result
+}
 
 // powerRunner builds Figures 26 (Broadwell) and 27 (KNL): per-kernel
 // package and DRAM power with and without the OPM, the geometric-mean
@@ -36,22 +43,24 @@ func powerRunner(platName string) func(context.Context, Options) (*Report, error
 			return nil, err
 		}
 
-		type pair struct{ rb, ro memsim.Result }
-		pairs, err := sweep.Map(ctx, opt.engine(), kernelOrder,
-			func(_ context.Context, _ *sweep.Worker, kernel string) (pair, error) {
+		cache := cacheFor[string, powerPair](opt, "power",
+			machinesHash([]*core.Machine{base, opm}),
+			func(kernel string) string { return kernel })
+		pairs, err := sweep.MapCached(ctx, opt.engine(), kernelOrder, cache,
+			func(_ context.Context, _ *sweep.Worker, kernel string) (powerPair, error) {
 				run, err := representativeWorkload(platName, kernel)
 				if err != nil {
-					return pair{}, err
+					return powerPair{}, err
 				}
 				rb, err := run(base)
 				if err != nil {
-					return pair{}, fmt.Errorf("%s baseline: %w", kernel, err)
+					return powerPair{}, fmt.Errorf("%s baseline: %w", kernel, err)
 				}
 				ro, err := run(opm)
 				if err != nil {
-					return pair{}, fmt.Errorf("%s %s: %w", kernel, opm.Mode, err)
+					return powerPair{}, fmt.Errorf("%s %s: %w", kernel, opm.Mode, err)
 				}
-				return pair{rb, ro}, nil
+				return powerPair{Base: rb, OPM: ro}, nil
 			})
 		if err != nil {
 			// Every kernel row feeds the geometric mean; a hole would
@@ -64,7 +73,7 @@ func powerRunner(platName string) func(context.Context, Options) (*Report, error
 		var speedups []float64
 		csv := []string{csvLine("kernel", "mode", "pkg_w", "dram_w", "gflops", "energy_j")}
 		for ki, kernel := range kernelOrder {
-			rb, ro := pairs[ki].rb, pairs[ki].ro
+			rb, ro := pairs[ki].Base, pairs[ki].OPM
 			sb := model.Estimate(rb)
 			so := model.Estimate(ro)
 			labels = append(labels, kernel)

@@ -79,8 +79,15 @@ func runSparse(ctx context.Context, platName, kernel string, opt Options) ([]spa
 	specs := suite(plat, opt)
 	opt.logger().Debug("sparse sweep starting", "platform", platName, "kernel", kernel,
 		"matrices", len(specs), "modes", len(machines))
+	// Jobs are keyed by matrix name under the machine-set hash (the
+	// spec plus plat.Scale fully determine the instantiated matrix),
+	// so table4/5 reuse the figures' entries and quick/full runs
+	// share their common matrices.
+	cache := cacheFor[sparse.Spec, sparsePoint](opt, "sparse/"+kernel,
+		machinesHash(machines, plat.Scale),
+		func(s sparse.Spec) string { return s.Name })
 	sp := opt.Obs.StartSpan("sparse/" + platName + "/" + kernel + "/sweep")
-	results, runErr := sweep.Map(ctx, opt.engine(), specs,
+	results, runErr := sweep.MapCached(ctx, opt.engine(), specs, cache,
 		func(_ context.Context, w *sweep.Worker, spec sparse.Spec) (sparsePoint, error) {
 			if sparseJobHook != nil {
 				if err := sparseJobHook(spec); err != nil {

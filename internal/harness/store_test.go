@@ -1,0 +1,299 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/sparse"
+	"repro/internal/store"
+	"repro/internal/sweep"
+)
+
+// reportBytes flattens the parts of a report that the warm==cold
+// contract covers: rendered text, findings, and every CSV series.
+func reportBytes(rep *Report) string {
+	var b strings.Builder
+	b.WriteString(rep.Text)
+	for _, f := range rep.Findings {
+		b.WriteString(f)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func mustOpen(t *testing.T, dir string, reg *obs.Registry) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestWarmRunByteIdentical is the tentpole contract: a fully-warm run
+// against a populated store produces byte-identical output to a bare
+// run while executing zero simulator jobs — every point comes out of
+// the journal.
+func TestWarmRunByteIdentical(t *testing.T) {
+	e, _ := Get("fig9")
+	jobs := len(suite(platform.Broadwell(), tiny))
+
+	bare, err := e.Run(context.Background(), tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+
+	// Cold run: everything misses, everything is committed.
+	coldReg := obs.NewRegistry()
+	st := mustOpen(t, dir, coldReg)
+	opt := tiny
+	opt.Store = st
+	cold, err := e.Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := coldReg.Snapshot()
+	if snap.Counters["store/misses"] != int64(jobs) || snap.Counters["store/commits"] != int64(jobs) {
+		t.Fatalf("cold run: misses=%d commits=%d, want %d each",
+			snap.Counters["store/misses"], snap.Counters["store/commits"], jobs)
+	}
+
+	// Warm run: all hits, zero jobs reach the sweep pool.
+	warmReg := obs.NewRegistry()
+	st = mustOpen(t, dir, warmReg)
+	opt = tiny
+	opt.Store = st
+	opt.Obs = warmReg
+	warm, err := e.Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap = warmReg.Snapshot()
+	if snap.Counters["store/hits"] != int64(jobs) {
+		t.Fatalf("warm run: %d hits, want %d", snap.Counters["store/hits"], jobs)
+	}
+	if snap.Counters["sweep/jobs"] != 0 {
+		t.Fatalf("warm run executed %d simulator jobs, want 0", snap.Counters["sweep/jobs"])
+	}
+
+	if got, want := reportBytes(warm), reportBytes(bare); got != want {
+		t.Error("warm report differs from bare report")
+	}
+	if got, want := reportBytes(cold), reportBytes(bare); got != want {
+		t.Error("cold (store-enabled) report differs from bare report")
+	}
+	if !reflect.DeepEqual(warm.CSV, bare.CSV) || !reflect.DeepEqual(cold.CSV, bare.CSV) {
+		t.Error("CSV series differ between bare/cold/warm runs")
+	}
+
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Force disables lookups: the same populated store yields no hits
+	// and every job runs again — with identical bytes.
+	forceReg := obs.NewRegistry()
+	forced := mustOpen(t, dir, forceReg)
+	opt = tiny
+	opt.Store = forced
+	opt.Obs = forceReg
+	opt.Force = true
+	frep, err := e.Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap = forceReg.Snapshot()
+	if snap.Counters["store/hits"] != 0 {
+		t.Fatalf("force run: %d hits, want 0", snap.Counters["store/hits"])
+	}
+	if snap.Counters["sweep/jobs"] != int64(jobs) {
+		t.Fatalf("force run executed %d jobs, want %d", snap.Counters["sweep/jobs"], jobs)
+	}
+	if got, want := reportBytes(frep), reportBytes(bare); got != want {
+		t.Error("forced report differs from bare report")
+	}
+	if err := forced.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// storeLen opens the store read-style, reads its live-entry count, and
+// closes it again.
+func storeLen(t *testing.T, dir string) int {
+	t.Helper()
+	st := mustOpen(t, dir, nil)
+	n := st.Len()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestResumeEquivalence kills a sequential sweep partway through via
+// context cancellation, then resumes against the same store: only the
+// remaining jobs execute, and the final report is byte-identical to an
+// uninterrupted run.
+func TestResumeEquivalence(t *testing.T) {
+	e, _ := Get("fig12")
+
+	bare, err := e.Run(context.Background(), tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+
+	// First attempt: cancel after two jobs complete. Their results are
+	// already journaled (Put is the checkpoint), so the crash loses
+	// nothing that finished.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var total int64
+	opt := tiny
+	opt.Workers = 1
+	opt.Store = mustOpen(t, dir, nil)
+	opt.Progress = func(p sweep.Progress) {
+		total = int64(p.Total)
+		if p.Done >= 2 {
+			cancel()
+		}
+	}
+	if _, err := e.Run(ctx, opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+	if err := opt.Store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkpointed := int64(storeLen(t, dir))
+	if checkpointed < 2 || checkpointed >= total {
+		t.Fatalf("store holds %d of %d jobs after interrupt, want a strict partial >= 2", checkpointed, total)
+	}
+
+	// Resume: a fresh context against the same store completes only the
+	// remaining jobs.
+	reg := obs.NewRegistry()
+	opt = tiny
+	opt.Store = mustOpen(t, dir, reg)
+	opt.Obs = reg
+	resumed, err := e.Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["store/hits"] != checkpointed {
+		t.Fatalf("resume: %d hits, want %d", snap.Counters["store/hits"], checkpointed)
+	}
+	if snap.Counters["sweep/jobs"] != total-checkpointed {
+		t.Fatalf("resume executed %d jobs, want %d", snap.Counters["sweep/jobs"], total-checkpointed)
+	}
+
+	if got, want := reportBytes(resumed), reportBytes(bare); got != want {
+		t.Error("resumed report differs from uninterrupted report")
+	}
+	if !reflect.DeepEqual(resumed.CSV, bare.CSV) {
+		t.Error("resumed CSV series differ from uninterrupted run")
+	}
+	if err := opt.Store.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDroppedCountsFailedJobs: the report's Dropped field (which
+// -strict keys off) counts exactly the jobs that fell out of the sweep.
+func TestDroppedCountsFailedJobs(t *testing.T) {
+	specs := suite(platform.Broadwell(), tiny)
+	doomed := specs[1].Name
+	sparseJobHook = func(s sparse.Spec) error {
+		if s.Name == doomed {
+			return fmt.Errorf("injected failure for %s", s.Name)
+		}
+		return nil
+	}
+	defer func() { sparseJobHook = nil }()
+
+	e, _ := Get("fig9")
+	rep, err := e.Run(context.Background(), tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped != 1 {
+		t.Fatalf("rep.Dropped = %d, want 1", rep.Dropped)
+	}
+}
+
+// TestFailedJobsAreNotCached: a job that errors must not poison the
+// store; rerunning without the failure injection recomputes it.
+func TestFailedJobsAreNotCached(t *testing.T) {
+	specs := suite(platform.Broadwell(), tiny)
+	doomed := specs[0].Name
+	sparseJobHook = func(s sparse.Spec) error {
+		if s.Name == doomed {
+			return fmt.Errorf("injected failure for %s", s.Name)
+		}
+		return nil
+	}
+
+	dir := t.TempDir()
+	e, _ := Get("fig9")
+	opt := tiny
+	opt.Store = mustOpen(t, dir, nil)
+	if _, err := e.Run(context.Background(), opt); err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sparseJobHook = nil
+
+	if got, want := storeLen(t, dir), len(specs)-1; got != want {
+		t.Fatalf("store holds %d entries after one dropped job, want %d", got, want)
+	}
+
+	reg := obs.NewRegistry()
+	opt = tiny
+	opt.Store = mustOpen(t, dir, reg)
+	rep, err := e.Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped != 0 {
+		t.Fatalf("rerun still dropped %d jobs", rep.Dropped)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["store/misses"] != 1 || snap.Counters["store/hits"] != int64(len(specs)-1) {
+		t.Fatalf("rerun: hits=%d misses=%d, want %d/1",
+			snap.Counters["store/hits"], snap.Counters["store/misses"], len(specs)-1)
+	}
+	if err := opt.Store.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGetUnknownListsRegistry: a typo'd -exp should teach, not just
+// reject — the error carries the full experiment listing.
+func TestGetUnknownListsRegistry(t *testing.T) {
+	_, err := Get("fig999")
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "known experiments") {
+		t.Fatalf("error does not list experiments: %v", err)
+	}
+	for _, id := range []string{"fig9", "table4", "fig27"} {
+		if !strings.Contains(msg, id) {
+			t.Fatalf("error listing missing %s:\n%s", id, msg)
+		}
+	}
+}

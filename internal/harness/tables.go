@@ -38,7 +38,7 @@ func kernelSeries(ctx context.Context, platName, kernel string, opt Options) (ma
 				}
 			}
 		}
-		results, err := core.RunDenseBatch(ctx, opt.engine(), jobs)
+		results, err := core.RunDenseBatchCached(ctx, opt.engine(), jobs, denseCache(opt))
 		if err != nil {
 			return nil, nil, err
 		}

@@ -60,6 +60,31 @@ func (m Mode) String() string {
 	return fmt.Sprintf("mode(%d)", int(m))
 }
 
+// MarshalText renders the mode's report label, so JSON maps keyed by
+// Mode serialize as {"ddr": ...} with deterministic sorted keys —
+// what the persistent result store round-trips.
+func (m Mode) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// UnmarshalText parses a report label back into a Mode.
+func (m *Mode) UnmarshalText(b []byte) error {
+	v, err := ParseMode(string(b))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
+// ParseMode is the inverse of Mode.String for the known labels.
+func ParseMode(s string) (Mode, error) {
+	for mode := ModeDDR; mode <= ModeEDRAMMemSide; mode++ {
+		if mode.String() == s {
+			return mode, nil
+		}
+	}
+	return 0, fmt.Errorf("memsim: unknown mode %q", s)
+}
+
 // Source identifies where a memory request was served from. Sources
 // are ordered from nearest to farthest.
 type Source int

@@ -1,0 +1,143 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Journal file layout. The file opens with a fixed magic line naming
+// the format generation, then a sequence of independently checksummed
+// records:
+//
+//	[4-byte big-endian payload length][4-byte CRC-32C of payload][payload]
+//
+// The payload is one JSON envelope (see entry). Appends are a single
+// write(2) of the fully assembled frame, so a process crash leaves at
+// worst one torn frame at the tail — which the open-time scan detects
+// (short frame, or checksum mismatch on the final record) and
+// truncates away. A corrupted record in the interior (bit flip on
+// disk) fails its checksum but leaves the framing intact, so the scan
+// skips it and keeps everything after it.
+const (
+	journalMagic = "OPMSTORE1\n"
+	journalName  = "journal"
+	indexName    = "index.json"
+
+	// entryVersion is the record schema generation. Records written
+	// by a different generation are skipped on open (counted as
+	// stale), never trusted.
+	entryVersion = 1
+
+	// maxRecordLen bounds a single payload. A length field above this
+	// cannot come from a healthy journal, so the scan treats it as
+	// corruption of the framing itself and truncates there.
+	maxRecordLen = 64 << 20
+
+	frameHeaderLen = 8
+)
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// entry is the JSON envelope of one journal record.
+type entry struct {
+	// V is the record schema version (entryVersion at write time).
+	V int `json:"v"`
+	// Digest is the content address (see Digest).
+	Digest string `json:"digest"`
+	// Exp and Key record the human-readable provenance of the digest:
+	// the sweep family and the job key. They are informational — the
+	// digest alone addresses the record.
+	Exp string `json:"exp"`
+	Key string `json:"key"`
+	// Data is the cached result, verbatim.
+	Data json.RawMessage `json:"data"`
+}
+
+// frame assembles the on-disk bytes of one payload.
+func frame(payload []byte) []byte {
+	buf := make([]byte, frameHeaderLen+len(payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[frameHeaderLen:], payload)
+	return buf
+}
+
+// scanOutcome is what replaying a journal produced: the live entries
+// in first-seen order, and the damage tally.
+type scanOutcome struct {
+	entries []entry
+	// goodEnd is the offset just past the last structurally sound
+	// frame; bytes beyond it are torn or unframeable and must be
+	// truncated before appending.
+	goodEnd int64
+	// corrupt counts interior records whose checksum or JSON failed;
+	// stale counts records of a different schema version; truncated
+	// is the number of tail bytes cut off.
+	corrupt   int
+	stale     int
+	truncated int64
+}
+
+// scanJournal replays a journal from r (positioned after the magic,
+// with size bytes of records remaining, starting at offset start).
+func scanJournal(r io.Reader, start, size int64) scanOutcome {
+	out := scanOutcome{goodEnd: start}
+	var hdr [frameHeaderLen]byte
+	remaining := size
+	for remaining >= frameHeaderLen {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			break
+		}
+		n := int64(binary.BigEndian.Uint32(hdr[0:4]))
+		want := binary.BigEndian.Uint32(hdr[4:8])
+		if n == 0 || n > maxRecordLen || n > remaining-frameHeaderLen {
+			// The length field itself is untrustworthy (torn tail or
+			// corrupted framing): nothing beyond this point can be
+			// re-framed, so the scan stops and the tail is truncated.
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			break
+		}
+		remaining -= frameHeaderLen + n
+		out.goodEnd += frameHeaderLen + n
+		if crc32.Checksum(payload, castagnoli) != want {
+			// Framing held but the payload is damaged (bit flip):
+			// skip just this record.
+			out.corrupt++
+			continue
+		}
+		var e entry
+		if err := json.Unmarshal(payload, &e); err != nil || e.Digest == "" {
+			out.corrupt++
+			continue
+		}
+		if e.V != entryVersion {
+			out.stale++
+			continue
+		}
+		out.entries = append(out.entries, e)
+	}
+	out.truncated = size - (out.goodEnd - start)
+	return out
+}
+
+// writeAtomic writes data to path via a temp file and rename, so a
+// crash mid-write can never leave a half-written file under path.
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package sweep
+
+import "context"
+
+// Cache is the engine's lookup/commit hook for memoized sweeps. A
+// cached job bypasses the worker pool entirely — it never occupies a
+// worker slot or counts as an executed job — and every job that does
+// run is committed the moment it finishes (checkpointing), not in an
+// end-of-run dump, so a cancelled sweep resumes from its last
+// completed job.
+//
+// Implementations must be safe for concurrent use: Commit is called
+// from worker goroutines as jobs complete. Lookup is called serially
+// before the pool starts. A Lookup hit must return a result
+// byte-equivalent to what fn would compute — the warm==cold report
+// equivalence contract rests on it.
+type Cache[J, R any] interface {
+	// Lookup returns the memoized result for a job and whether it hit.
+	Lookup(job J) (R, bool)
+	// Commit persists one completed job's result. Failures must be
+	// absorbed (counted, logged) — a broken cache may slow a sweep
+	// down but must never fail it.
+	Commit(job J, r R)
+}
+
+// MapCached is Map with memoization: jobs that hit the cache are
+// resolved up front and only the misses are dispatched to the worker
+// pool; each miss is committed to the cache as it completes. Results
+// come back in submission order exactly as Map returns them, and any
+// JobError indices refer to the original jobs slice. A nil cache makes
+// MapCached identical to Map.
+//
+// Progress reports (and the ETA) cover the executed jobs but Done and
+// Total include the cache hits, so a resumed 968-job sweep with 900
+// hits reports 901/968, 902/968, ... rather than restarting at 1/68.
+func MapCached[J, R any](ctx context.Context, e *Engine, jobs []J, cache Cache[J, R], fn func(ctx context.Context, w *Worker, job J) (R, error)) ([]R, error) {
+	if cache == nil {
+		return Map(ctx, e, jobs, fn)
+	}
+	results := make([]R, len(jobs))
+	missIdx := make([]int, 0, len(jobs))
+	for i, job := range jobs {
+		if r, ok := cache.Lookup(job); ok {
+			results[i] = r
+		} else {
+			missIdx = append(missIdx, i)
+		}
+	}
+	hits := len(jobs) - len(missIdx)
+	if len(missIdx) == 0 {
+		if e != nil && e.Progress != nil && hits > 0 {
+			e.Progress(Progress{Done: hits, Total: hits})
+		}
+		return results, nil
+	}
+	miss := make([]J, len(missIdx))
+	for k, i := range missIdx {
+		miss[k] = jobs[i]
+	}
+	sub := Engine{}
+	if e != nil {
+		sub = *e
+	}
+	if prog := sub.Progress; prog != nil && hits > 0 {
+		sub.Progress = func(p Progress) {
+			p.Done += hits
+			p.Total += hits
+			prog(p)
+		}
+	}
+	missRes, err := Map(ctx, &sub, miss, func(ctx context.Context, w *Worker, job J) (R, error) {
+		r, ferr := fn(ctx, w, job)
+		if ferr == nil {
+			cache.Commit(job, r)
+		}
+		return r, ferr
+	})
+	for k, i := range missIdx {
+		results[i] = missRes[k]
+	}
+	return results, remapErrors(err, missIdx)
+}
+
+// remapErrors rewrites JobError indices from the miss slice back to
+// the caller's original submission indices. Map returns its Errors
+// sorted by index and missIdx is ascending, so order is preserved.
+func remapErrors(err error, missIdx []int) error {
+	if err == nil {
+		return nil
+	}
+	errs, ok := err.(Errors)
+	if !ok {
+		return err
+	}
+	out := make(Errors, len(errs))
+	for k, je := range errs {
+		out[k] = &JobError{Index: missIdx[je.Index], Err: je.Err}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// mapCache is a threadsafe map-backed Cache for tests.
+type mapCache struct {
+	mu      sync.Mutex
+	data    map[int]string
+	commits map[int]string
+	lookups int
+}
+
+func newMapCache(warm map[int]string) *mapCache {
+	if warm == nil {
+		warm = map[int]string{}
+	}
+	return &mapCache{data: warm, commits: map[int]string{}}
+}
+
+func (c *mapCache) Lookup(job int) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lookups++
+	r, ok := c.data[job]
+	return r, ok
+}
+
+func (c *mapCache) Commit(job int, r string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.commits[job] = r
+	c.data[job] = r
+}
+
+func cachedFn(executed *sync.Map) func(context.Context, *Worker, int) (string, error) {
+	return func(_ context.Context, _ *Worker, job int) (string, error) {
+		executed.Store(job, true)
+		return fmt.Sprintf("r%d", job), nil
+	}
+}
+
+func TestMapCachedHitsBypassPoolAndKeepOrder(t *testing.T) {
+	jobs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	warm := map[int]string{}
+	for _, j := range jobs {
+		if j%2 == 0 {
+			warm[j] = fmt.Sprintf("r%d", j)
+		}
+	}
+	cache := newMapCache(warm)
+	var executed sync.Map
+	results, err := MapCached(context.Background(), &Engine{Workers: 4}, jobs, cache, cachedFn(&executed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		if want := fmt.Sprintf("r%d", j); results[i] != want {
+			t.Fatalf("results[%d] = %q want %q", i, results[i], want)
+		}
+	}
+	for _, j := range jobs {
+		_, ran := executed.Load(j)
+		if j%2 == 0 && ran {
+			t.Fatalf("cached job %d executed", j)
+		}
+		if j%2 == 1 && !ran {
+			t.Fatalf("uncached job %d skipped", j)
+		}
+	}
+	// Only the misses were committed.
+	if len(cache.commits) != 5 {
+		t.Fatalf("commits: %v", cache.commits)
+	}
+	for j, r := range cache.commits {
+		if j%2 != 1 || r != fmt.Sprintf("r%d", j) {
+			t.Fatalf("bad commit %d=%q", j, r)
+		}
+	}
+}
+
+func TestMapCachedAllHitsRunsNothing(t *testing.T) {
+	jobs := []int{1, 2, 3}
+	warm := map[int]string{1: "r1", 2: "r2", 3: "r3"}
+	var lastProgress Progress
+	e := &Engine{Progress: func(p Progress) { lastProgress = p }}
+	results, err := MapCached(context.Background(), e, jobs, newMapCache(warm),
+		func(context.Context, *Worker, int) (string, error) {
+			t.Fatal("fn called on fully warm sweep")
+			return "", nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 || results[0] != "r1" || results[2] != "r3" {
+		t.Fatalf("results: %v", results)
+	}
+	if lastProgress.Done != 3 || lastProgress.Total != 3 {
+		t.Fatalf("fully warm sweep should report completion: %+v", lastProgress)
+	}
+}
+
+func TestMapCachedErrorIndicesAreOriginal(t *testing.T) {
+	jobs := []int{10, 11, 12, 13, 14}
+	warm := map[int]string{10: "r10", 12: "r12"} // misses: 11, 13, 14
+	boom := errors.New("boom")
+	_, err := MapCached(context.Background(), &Engine{Workers: 1}, jobs, newMapCache(warm),
+		func(_ context.Context, _ *Worker, job int) (string, error) {
+			if job == 13 {
+				return "", boom
+			}
+			return fmt.Sprintf("r%d", job), nil
+		})
+	var errs Errors
+	if !errors.As(err, &errs) || len(errs) != 1 {
+		t.Fatalf("err = %v", err)
+	}
+	// Job 13 is miss #1 but submission index 3; the JobError must
+	// carry the submission index.
+	if errs[0].Index != 3 || !errors.Is(errs[0], boom) {
+		t.Fatalf("JobError = %+v", errs[0])
+	}
+}
+
+func TestMapCachedProgressIncludesHits(t *testing.T) {
+	jobs := make([]int, 8)
+	warm := map[int]string{}
+	for i := range jobs {
+		jobs[i] = i
+		if i < 6 {
+			warm[i] = fmt.Sprintf("r%d", i)
+		}
+	}
+	var mu sync.Mutex
+	var dones []int
+	e := &Engine{Workers: 1, Progress: func(p Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		dones = append(dones, p.Done)
+		if p.Total != 8 {
+			t.Errorf("Total = %d want 8", p.Total)
+		}
+	}}
+	var executed sync.Map
+	if _, err := MapCached(context.Background(), e, jobs, newMapCache(warm), cachedFn(&executed)); err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) != 2 || dones[0] != 7 || dones[1] != 8 {
+		t.Fatalf("progress Done sequence: %v (want [7 8])", dones)
+	}
+}
+
+func TestMapCachedNilCacheEqualsMap(t *testing.T) {
+	jobs := []int{1, 2, 3}
+	var executed sync.Map
+	got, err := MapCached[int, string](context.Background(), nil, jobs, nil, cachedFn(&executed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Map(context.Background(), nil, jobs, cachedFn(&executed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nil-cache MapCached diverges from Map at %d", i)
+		}
+	}
+}
+
+func TestMapCachedFailedJobsNotCommitted(t *testing.T) {
+	jobs := []int{0, 1, 2}
+	cache := newMapCache(nil)
+	_, err := MapCached(context.Background(), &Engine{Workers: 1}, jobs, cache,
+		func(_ context.Context, _ *Worker, job int) (string, error) {
+			if job == 1 {
+				return "", errors.New("bad cell")
+			}
+			return fmt.Sprintf("r%d", job), nil
+		})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if _, ok := cache.commits[1]; ok {
+		t.Fatal("failed job was committed")
+	}
+	if len(cache.commits) != 2 {
+		t.Fatalf("commits: %v", cache.commits)
+	}
+}

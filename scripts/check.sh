@@ -25,3 +25,8 @@ fi
 
 echo "== go test -race $pkgs"
 go test -race $pkgs
+
+# The store's crash-safety claims rest on its locking discipline; run
+# its suite twice under the race detector to shake out ordering flakes.
+echo "== go test -race -count=2 ./internal/store"
+go test -race -count=2 ./internal/store
