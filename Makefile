@@ -1,6 +1,6 @@
 # Convenience targets; see scripts/check.sh for the full gate.
 
-.PHONY: build test check bench bench-obs bench-store profile
+.PHONY: build test check chaos bench bench-obs bench-store bench-resilience profile
 
 build:
 	go build ./...
@@ -11,6 +11,15 @@ test:
 # Full pre-merge gate: vet + (optional) staticcheck + race-enabled tests.
 check:
 	scripts/check.sh
+
+# Chaos suite: fault-injected sweeps, retry/breaker/deadline paths, and
+# store write damage, all under the race detector with fixed fault
+# seeds (the specs pin seed=N, so every run injects identically).
+chaos:
+	go test -race -count=1 -run 'TestChaos|TestTornWrites|TestCorruptWrites|TestStoreChaos' \
+		./internal/harness ./internal/store
+	go test -race -count=1 -run 'Resilient|Retry|Breaker|Deadline|Cancellation|Injected|Quarantine' \
+		./internal/sweep
 
 bench:
 	go test -bench=BenchmarkSweepEngine -benchtime=1x -run=^$$ .
@@ -23,6 +32,12 @@ bench-obs:
 # (every job answered from the journal, zero simulation).
 bench-store:
 	go test -bench=BenchmarkStoreWarmVsCold -benchtime=3x -run=^$$ .
+
+# Resilience overhead guard: the sweep's production path (nil policy,
+# nil injector) vs an armed-but-idle policy vs an empty injector.
+bench-resilience:
+	go test -bench='BenchmarkMap(DisabledResilience|IdleResilience|NilInjector)' \
+		-benchtime=100x -run=^$$ ./internal/sweep
 
 # Profile a short dense sweep with live pprof plus a CPU profile and a
 # metrics dump under prof/. Inspect with: go tool pprof prof/opmbench.cpu

@@ -7,6 +7,11 @@
 //	matgen -stats                    # collection statistics
 //	matgen -id 42 -scale 64 -o m.mtx # write one matrix (MatrixMarket)
 //	matgen -export dir -stride 64    # export a subset as .mtx files
+//	matgen -gen -n 4096 -density 0.01 -o m.mtx # custom random matrix
+//
+// Inputs are validated up front: zero or negative dimensions, scales
+// and strides, and NaN or out-of-range densities are rejected with an
+// error naming the parameter instead of panicking mid-generation.
 package main
 
 import (
@@ -20,18 +25,47 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list collection specs")
-		stats  = flag.Bool("stats", false, "print collection statistics")
-		id     = flag.Int("id", -1, "spec ID to instantiate")
-		scale  = flag.Int64("scale", 64, "capacity scale divisor (16=Broadwell, 64=KNL, 1=paper size)")
-		out    = flag.String("o", "", "output .mtx path for -id")
-		export = flag.String("export", "", "directory to export matrices into")
-		stride = flag.Int("stride", 64, "export every stride-th spec")
+		list    = flag.Bool("list", false, "list collection specs")
+		stats   = flag.Bool("stats", false, "print collection statistics")
+		id      = flag.Int("id", -1, "spec ID to instantiate")
+		scale   = flag.Int64("scale", 64, "capacity scale divisor (16=Broadwell, 64=KNL, 1=paper size)")
+		out     = flag.String("o", "", "output .mtx path for -id")
+		export  = flag.String("export", "", "directory to export matrices into")
+		stride  = flag.Int("stride", 64, "export every stride-th spec")
+		gen     = flag.Bool("gen", false, "generate one custom uniform-random matrix (-n, -density, -seed)")
+		n       = flag.Int("n", 4096, "custom matrix dimension for -gen")
+		density = flag.Float64("density", 0.01, "custom nonzero density in (0,1] for -gen")
+		seed    = flag.Uint64("seed", 1, "custom generator seed for -gen")
 	)
 	flag.Parse()
+	if *scale < 1 {
+		fatal(fmt.Errorf("-scale must be >= 1, got %d", *scale))
+	}
+	if *stride < 1 {
+		fatal(fmt.Errorf("-stride must be >= 1, got %d", *stride))
+	}
 	specs := sparse.Collection()
 
 	switch {
+	case *gen:
+		m, err := sparse.RandomDensity(*n, *density, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		mt := sparse.Measure(m)
+		fmt.Printf("random: %dx%d, nnz %d, avg row %.1f, footprint %d bytes\n",
+			mt.Rows, mt.Rows, mt.NNZ, mt.AvgRowNNZ, mt.FootprintBytes)
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			if err := sparse.WriteMatrixMarket(f, m); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", *out)
+		}
 	case *list:
 		fmt.Printf("%-5s %-22s %-10s %14s %8s\n", "id", "name", "family", "paper_bytes", "rownnz")
 		for _, sp := range specs {
@@ -59,7 +93,10 @@ func main() {
 			fatal(fmt.Errorf("id %d out of range (0..%d)", *id, len(specs)-1))
 		}
 		sp := specs[*id]
-		m := sp.Instantiate(*scale)
+		m, err := sp.Checked(*scale)
+		if err != nil {
+			fatal(err)
+		}
 		mt := sparse.Measure(m)
 		fmt.Printf("%s: %dx%d, nnz %d, avg row %.1f, bandwidth %d, footprint %d bytes (sim)\n",
 			sp.Name, mt.Rows, mt.Rows, mt.NNZ, mt.AvgRowNNZ, mt.Bandwidth, mt.FootprintBytes)
@@ -80,7 +117,10 @@ func main() {
 		}
 		n := 0
 		for _, sp := range sparse.Subsample(specs, *stride) {
-			m := sp.Instantiate(*scale)
+			m, err := sp.Checked(*scale)
+			if err != nil {
+				fatal(err)
+			}
 			path := filepath.Join(*export, sp.Name+".mtx")
 			f, err := os.Create(path)
 			if err != nil {

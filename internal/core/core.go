@@ -11,8 +11,8 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/faultinject"
 	"repro/internal/memsim"
-	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -255,24 +255,13 @@ func RunBatch(ctx context.Context, eng *sweep.Engine, jobs []Job) ([]memsim.Resu
 // RunBatchCached is RunBatch with a persistent-store hook: jobs whose
 // digest is cached bypass simulation entirely, and every simulated
 // job is committed as it completes (see sweep.MapCached). A nil cache
-// reproduces RunBatch exactly.
+// reproduces RunBatch exactly. Every simulated cell passes through the
+// result gate (RunCell): invariant violations quarantine the result
+// instead of committing it.
 func RunBatchCached(ctx context.Context, eng *sweep.Engine, jobs []Job, cache sweep.Cache[Job, memsim.Result]) ([]memsim.Result, error) {
-	var reg *obs.Registry
-	if eng != nil {
-		reg = eng.Obs
-	}
-	return sweep.MapCached(ctx, eng, jobs, cache, func(_ context.Context, w *sweep.Worker, j Job) (memsim.Result, error) {
-		sim, err := j.Machine.PooledSim(w)
-		if err != nil {
-			return memsim.Result{}, err
-		}
-		r, err := j.Machine.RunOn(sim, j.Workload)
-		if err != nil {
-			w.Drop(j.Machine.cfg)
-			return memsim.Result{}, fmt.Errorf("core: %s on %s: %w", j.Workload.Name(), j.Machine.Label(), err)
-		}
-		sim.RecordMetrics(reg)
-		return r, nil
+	return sweep.MapCached(ctx, eng, jobs, cache, func(ctx context.Context, w *sweep.Worker, j Job) (memsim.Result, error) {
+		key := CellKey(j.Machine, j.Workload.Name(), j.Workload.Flops())
+		return j.Machine.RunCell(ctx, eng, w, j.Workload, key)
 	})
 }
 
@@ -283,12 +272,21 @@ func RunDenseBatch(ctx context.Context, eng *sweep.Engine, jobs []DenseJob) ([]m
 }
 
 // RunDenseBatchCached is RunDenseBatch with a persistent-store hook;
-// a nil cache reproduces RunDenseBatch exactly.
+// a nil cache reproduces RunDenseBatch exactly. Results pass through
+// the analytic half of the result gate (GateDense) before committing.
 func RunDenseBatchCached(ctx context.Context, eng *sweep.Engine, jobs []DenseJob, cache sweep.Cache[DenseJob, memsim.Result]) ([]memsim.Result, error) {
-	return sweep.MapCached(ctx, eng, jobs, cache, func(_ context.Context, _ *sweep.Worker, j DenseJob) (memsim.Result, error) {
+	var inj *faultinject.Injector
+	if eng != nil {
+		inj = eng.Inject
+	}
+	return sweep.MapCached(ctx, eng, jobs, cache, func(ctx context.Context, _ *sweep.Worker, j DenseJob) (memsim.Result, error) {
 		r, err := j.Machine.RunDense(j.Kind, j.N, j.NB)
 		if err != nil {
 			return memsim.Result{}, fmt.Errorf("core: %s n=%d nb=%d on %s: %w", j.Kind, j.N, j.NB, j.Machine.Label(), err)
+		}
+		key := fmt.Sprintf("%s|n=%d|nb=%d|%s", j.Kind, j.N, j.NB, j.Machine.Label())
+		if gerr := GateResult(ctx, inj, key, &r); gerr != nil {
+			return memsim.Result{}, gerr
 		}
 		return r, nil
 	})

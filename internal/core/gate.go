@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/faultinject"
+	"repro/internal/memsim"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+// This file is the result-validation gate: every sweep cell passes
+// through it between simulation and the report/store. The gate checks
+// the simulator invariants (memsim.Sim.CheckInvariants) and the
+// evaluated result's own consistency (memsim.Result.Validate); a
+// violation quarantines the result — it is returned as a retryable
+// resilience.QuarantineError, never committed to the persistent store,
+// and never rendered into a figure. The gate is also where the fault
+// injector's "result" chaos point lands: InjectResult corrupts a
+// just-computed result so the chaos suite can prove the gate catches
+// it.
+
+// CellKey is the stable identity of one sweep cell at the result
+// injection point: deterministic across runs and worker schedules.
+func CellKey(m *Machine, workload string, flops float64) string {
+	return fmt.Sprintf("%s|%s|%g", workload, m.Label(), flops)
+}
+
+// InjectResult fires the "result" chaos point for key and, when it
+// fires, corrupts r in a way the validation gate must catch (NaN
+// throughput). No-op on a nil injector.
+func InjectResult(ctx context.Context, inj *faultinject.Injector, key string, r *memsim.Result) {
+	if inj.Result(ctx, key) {
+		r.GFlops = math.NaN()
+	}
+}
+
+// RunCell is the gated version of RunOn for sweep workers: pooled
+// simulator, simulate + evaluate, result-corruption injection, then the
+// invariant gate. On a model error the worker's pooled simulator is
+// evicted (it may be inconsistent); on a gate violation the result is
+// quarantined. On success the simulator's counters are recorded into
+// reg. key identifies the cell to the injector and the quarantine
+// record; eng supplies the injector (eng and its fields may be nil).
+func (m *Machine) RunCell(ctx context.Context, eng *sweep.Engine, w *sweep.Worker, wl trace.Workload, key string) (memsim.Result, error) {
+	var inj *faultinject.Injector
+	var reg *obs.Registry
+	if eng != nil {
+		inj, reg = eng.Inject, eng.Obs
+	}
+	sim, err := m.PooledSim(w)
+	if err != nil {
+		return memsim.Result{}, err
+	}
+	r, err := m.RunOn(sim, wl)
+	if err != nil {
+		w.Drop(m.cfg)
+		return memsim.Result{}, fmt.Errorf("core: %s on %s: %w", wl.Name(), m.Label(), err)
+	}
+	InjectResult(ctx, inj, key, &r)
+	if verr := sim.CheckInvariants(); verr != nil {
+		// A failed simulator invariant means the pooled state itself is
+		// suspect: evict it so the retry rebuilds cold.
+		w.Drop(m.cfg)
+		return memsim.Result{}, resilience.Quarantine(key, verr)
+	}
+	if verr := r.Validate(); verr != nil {
+		return memsim.Result{}, resilience.Quarantine(key, verr)
+	}
+	sim.RecordMetrics(reg)
+	return r, nil
+}
+
+// GateResult applies the result gate to one cell whose simulator is
+// out of reach (analytic dense cells, the power figure's representative
+// runs): inject, then validate the result-level invariants only.
+func GateResult(ctx context.Context, inj *faultinject.Injector, key string, r *memsim.Result) error {
+	InjectResult(ctx, inj, key, r)
+	if verr := r.Validate(); verr != nil {
+		return resilience.Quarantine(key, verr)
+	}
+	return nil
+}

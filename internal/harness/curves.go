@@ -78,10 +78,11 @@ func runCurves(ctx context.Context, platName, kernel string, opt Options) ([]cur
 	cache := cacheFor[int64, curvePoint](opt, "curve/"+kernel,
 		machinesHash(machines, plat.Scale),
 		func(fp int64) string { return fmt.Sprint(fp) })
+	eng := opt.engine()
 	sp := opt.Obs.StartSpan("curves/" + platName + "/" + kernel + "/sweep")
 	defer sp.End()
-	pts, err := sweep.MapCached(ctx, opt.engine(), fps, cache,
-		func(_ context.Context, w *sweep.Worker, fp int64) (curvePoint, error) {
+	pts, err := sweep.MapCached(ctx, eng, fps, cache,
+		func(ctx context.Context, w *sweep.Worker, fp int64) (curvePoint, error) {
 			simFP := plat.ScaledBytes(fp)
 			if simFP < 4096 {
 				simFP = 4096
@@ -95,11 +96,7 @@ func runCurves(ctx context.Context, platName, kernel string, opt Options) ([]cur
 				GBs:    map[memsim.Mode]float64{},
 			}
 			for _, mach := range machines {
-				sim, err := mach.PooledSim(w)
-				if err != nil {
-					return curvePoint{}, err
-				}
-				r, err := mach.RunOn(sim, wl)
+				r, err := mach.RunCell(ctx, eng, w, wl, fmt.Sprintf("%s|fp=%d|%s", kernel, fp, mach.Label()))
 				if err != nil {
 					return curvePoint{}, fmt.Errorf("%s at %d MB on %s: %w", kernel, fp>>20, mach.Label(), err)
 				}
@@ -108,7 +105,6 @@ func runCurves(ctx context.Context, platName, kernel string, opt Options) ([]cur
 				// bytes = flops / AI, AI = flops/bytes of Table 2.
 				pt.GBs[mach.Mode] = appGBs(kernel, wl, r)
 				pt.Footprint = r.FootprintBytes
-				sim.RecordMetrics(opt.Obs)
 			}
 			return pt, nil
 		})

@@ -74,8 +74,9 @@ func runExtSkylake(ctx context.Context, opt Options) (*Report, error) {
 	cache := cacheFor[int64, arrangementGBs](opt, "ext/skylake",
 		machinesHash([]*core.Machine{mDDR, mBrd, mSky}, brd.Scale),
 		func(fp int64) string { return fmt.Sprint(fp) })
-	triples, err := sweep.MapCached(ctx, opt.engine(), fps, cache,
-		func(_ context.Context, sw *sweep.Worker, fp int64) (arrangementGBs, error) {
+	eng := opt.engine()
+	triples, err := sweep.MapCached(ctx, eng, fps, cache,
+		func(ctx context.Context, sw *sweep.Worker, fp int64) (arrangementGBs, error) {
 			w := trace.NewStream(brd.ScaledBytes(fp))
 			appB := 32.0 / 2.0 * w.Flops()
 			var t arrangementGBs
@@ -83,11 +84,7 @@ func runExtSkylake(ctx context.Context, opt Options) (*Report, error) {
 				m   *core.Machine
 				out *float64
 			}{{mDDR, &t.DDR}, {mBrd, &t.Victim}, {mSky, &t.MemSide}} {
-				sim, err := leg.m.PooledSim(sw)
-				if err != nil {
-					return arrangementGBs{}, err
-				}
-				r, err := leg.m.RunOn(sim, w)
+				r, err := leg.m.RunCell(ctx, eng, sw, w, fmt.Sprintf("triad|fp=%d|%s", fp, leg.m.Label()))
 				if err != nil {
 					return arrangementGBs{}, fmt.Errorf("triad at %d MB on %s: %w", fp>>20, leg.m.Label(), err)
 				}
@@ -165,24 +162,22 @@ func runExtMultiuser(ctx context.Context, opt Options) (*Report, error) {
 			}
 			return fmt.Sprintf("%s|%d|%d", obs.Hash(cfg), tc.plat.Scale, tc.fp)
 		})
-	outcomes, err := sweep.MapCached(ctx, opt.engine(), cases, cache,
-		func(_ context.Context, w *sweep.Worker, tc scenario) (tenancyGBs, error) {
+	eng := opt.engine()
+	outcomes, err := sweep.MapCached(ctx, eng, cases, cache,
+		func(ctx context.Context, w *sweep.Worker, tc scenario) (tenancyGBs, error) {
 			m, err := core.NewMachine(tc.plat, tc.mode)
-			if err != nil {
-				return tenancyGBs{}, err
-			}
-			sim, err := m.PooledSim(w)
 			if err != nil {
 				return tenancyGBs{}, err
 			}
 			simFP := tc.plat.ScaledBytes(tc.fp)
 			solo := trace.NewStream(simFP)
-			rSolo, err := m.RunOn(sim, solo)
+			key := fmt.Sprintf("tenancy|%s|fp=%d", m.Label(), tc.fp)
+			rSolo, err := m.RunCell(ctx, eng, w, solo, key+"|solo")
 			if err != nil {
 				return tenancyGBs{}, err
 			}
 			co := trace.NewCoStream(simFP, simFP)
-			rCo, err := m.RunOn(sim, co)
+			rCo, err := m.RunCell(ctx, eng, w, co, key+"|shared")
 			if err != nil {
 				return tenancyGBs{}, err
 			}

@@ -16,9 +16,11 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/memsim"
 	"repro/internal/obs"
 	"repro/internal/platform"
+	"repro/internal/resilience"
 	"repro/internal/store"
 	"repro/internal/sweep"
 )
@@ -66,11 +68,20 @@ type Options struct {
 	// committing results, overwriting existing entries — the recovery
 	// path when cached results are suspect.
 	Force bool
+	// Resilience, when non-nil, applies the per-job retry/deadline/
+	// breaker policy to every sweep (opmbench -retries, -job-timeout,
+	// -breaker). Nil runs each job once, as before.
+	Resilience *resilience.Policy
+	// Inject, when non-nil, is the chaos injector every sweep and
+	// result gate consults (opmbench -faults). Nil — production — costs
+	// one branch per injection site.
+	Inject *faultinject.Injector
 }
 
 // engine builds the sweep engine the option set describes.
 func (o Options) engine() *sweep.Engine {
-	return &sweep.Engine{Workers: o.Workers, Progress: o.Progress, Obs: o.Obs}
+	return &sweep.Engine{Workers: o.Workers, Progress: o.Progress, Obs: o.Obs,
+		Policy: o.Resilience, Inject: o.Inject}
 }
 
 // logger returns the options' logger, or a drop-everything logger so

@@ -3,6 +3,7 @@ package harness
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -165,9 +166,16 @@ func curveSeries(c stepping.Curve) plot.Series {
 }
 
 func curveCSV(curves map[string]stepping.Curve) []string {
+	// Emit series in sorted-name order: map iteration order would make
+	// the CSV differ run to run, breaking the byte-identical contract.
+	names := make([]string, 0, len(curves))
+	for name := range curves {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	lines := []string{csvLine("curve", "footprint_bytes", "gflops", "gbs", "serving")}
-	for name, c := range curves {
-		for _, p := range c.Points {
+	for _, name := range names {
+		for _, p := range curves[name].Points {
 			lines = append(lines, csvLine(name, i64(p.Footprint), f(p.GFlops), f(p.GBs), p.Serving))
 		}
 	}

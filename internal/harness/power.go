@@ -47,7 +47,7 @@ func powerRunner(platName string) func(context.Context, Options) (*Report, error
 			machinesHash([]*core.Machine{base, opm}),
 			func(kernel string) string { return kernel })
 		pairs, err := sweep.MapCached(ctx, opt.engine(), kernelOrder, cache,
-			func(_ context.Context, _ *sweep.Worker, kernel string) (powerPair, error) {
+			func(ctx context.Context, _ *sweep.Worker, kernel string) (powerPair, error) {
 				run, err := representativeWorkload(platName, kernel)
 				if err != nil {
 					return powerPair{}, err
@@ -59,6 +59,15 @@ func powerRunner(platName string) func(context.Context, Options) (*Report, error
 				ro, err := run(opm)
 				if err != nil {
 					return powerPair{}, fmt.Errorf("%s %s: %w", kernel, opm.Mode, err)
+				}
+				// The representative runs own their simulators, so the
+				// result-level gate applies (inject, validate, quarantine).
+				key := "power|" + kernel + "|" + platName
+				if err := core.GateResult(ctx, opt.Inject, key+"|base", &rb); err != nil {
+					return powerPair{}, err
+				}
+				if err := core.GateResult(ctx, opt.Inject, key+"|opm", &ro); err != nil {
+					return powerPair{}, err
 				}
 				return powerPair{Base: rb, OPM: ro}, nil
 			})

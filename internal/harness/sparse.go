@@ -86,15 +86,19 @@ func runSparse(ctx context.Context, platName, kernel string, opt Options) ([]spa
 	cache := cacheFor[sparse.Spec, sparsePoint](opt, "sparse/"+kernel,
 		machinesHash(machines, plat.Scale),
 		func(s sparse.Spec) string { return s.Name })
+	eng := opt.engine()
 	sp := opt.Obs.StartSpan("sparse/" + platName + "/" + kernel + "/sweep")
-	results, runErr := sweep.MapCached(ctx, opt.engine(), specs, cache,
-		func(_ context.Context, w *sweep.Worker, spec sparse.Spec) (sparsePoint, error) {
+	results, runErr := sweep.MapCached(ctx, eng, specs, cache,
+		func(ctx context.Context, w *sweep.Worker, spec sparse.Spec) (sparsePoint, error) {
 			if sparseJobHook != nil {
 				if err := sparseJobHook(spec); err != nil {
 					return sparsePoint{}, err
 				}
 			}
-			m := spec.Instantiate(plat.Scale)
+			m, err := spec.Checked(plat.Scale)
+			if err != nil {
+				return sparsePoint{}, err
+			}
 			wl, err := sparseWorkload(kernel, m)
 			if err != nil {
 				return sparsePoint{}, err
@@ -109,17 +113,14 @@ func runSparse(ctx context.Context, platName, kernel string, opt Options) ([]spa
 				GFlops:    map[memsim.Mode]float64{},
 			}
 			for _, mach := range machines {
-				sim, err := mach.PooledSim(w)
-				if err != nil {
-					return sparsePoint{}, err
-				}
-				r, err := mach.RunOn(sim, wl)
+				// Every mode's cell runs through the result gate: inject,
+				// validate, quarantine on violation.
+				r, err := mach.RunCell(ctx, eng, w, wl, spec.Name+"|"+mach.Label())
 				if err != nil {
 					return sparsePoint{}, fmt.Errorf("%s on %s: %w", spec.Name, mach.Label(), err)
 				}
 				pt.GFlops[mach.Mode] = r.GFlops
 				pt.Footprint = r.FootprintBytes
-				sim.RecordMetrics(opt.Obs)
 			}
 			return pt, nil
 		})

@@ -1,0 +1,56 @@
+package resilience
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrBreakerOpen fails the jobs a tripped circuit breaker short-
+// circuits. It is permanent (never retried) and is not a context
+// error, so sweep.Compact keeps the partial results and the harness
+// annotates the dropped cells instead of aborting the report.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// Breaker is a per-sweep-family circuit breaker: it trips after a
+// threshold of *consecutive* dropped jobs (a success resets the
+// count), and once open it stays open for the rest of the sweep —
+// sweeps are finite, so there is no half-open probe state. All methods
+// are safe for concurrent use and on a nil receiver (which never
+// trips).
+type Breaker struct {
+	threshold int64
+	consec    atomic.Int64
+	open      atomic.Bool
+	trips     atomic.Int64
+}
+
+// Allow reports whether a job may run (false once tripped).
+func (b *Breaker) Allow() bool {
+	return b == nil || !b.open.Load()
+}
+
+// Success records a completed job, resetting the consecutive-failure
+// count.
+func (b *Breaker) Success() {
+	if b != nil {
+		b.consec.Store(0)
+	}
+}
+
+// Failure records a dropped job (permanent failure or exhausted
+// retries) and reports whether this failure tripped the breaker.
+func (b *Breaker) Failure() bool {
+	if b == nil {
+		return false
+	}
+	if b.consec.Add(1) >= b.threshold && b.open.CompareAndSwap(false, true) {
+		b.trips.Add(1)
+		return true
+	}
+	return false
+}
+
+// Tripped reports whether the breaker has opened.
+func (b *Breaker) Tripped() bool {
+	return b != nil && b.open.Load()
+}

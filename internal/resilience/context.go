@@ -1,0 +1,22 @@
+package resilience
+
+import "context"
+
+type attemptKey struct{}
+
+// WithAttempt annotates a job attempt's context with its zero-based
+// attempt number. The sweep engine sets it on every try; the fault
+// injector reads it so injected faults can heal on retry (an injected
+// "transient" fault fires only while the attempt is below its count).
+func WithAttempt(ctx context.Context, n int) context.Context {
+	return context.WithValue(ctx, attemptKey{}, n)
+}
+
+// Attempt returns the context's attempt number (0 when unset, i.e.
+// outside the retry loop or on the first try).
+func Attempt(ctx context.Context) int {
+	if n, ok := ctx.Value(attemptKey{}).(int); ok {
+		return n
+	}
+	return 0
+}

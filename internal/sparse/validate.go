@@ -1,0 +1,81 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the input-validation edge of the generator suite:
+// matgen flags and collection specs are rejected here, with an error
+// naming the bad parameter, instead of flowing into a generator that
+// would panic (or silently clamp) deep inside CSR assembly.
+
+// CheckDims rejects non-positive matrix dimensions with a clear error;
+// what is the caller's name for the parameter ("rows", "n", "band").
+func CheckDims(what string, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("sparse: %s must be positive, got %d", what, n)
+	}
+	return nil
+}
+
+// CheckDensity rejects a NaN or out-of-range nonzero density (the
+// fraction of entries present, in (0, 1]).
+func CheckDensity(d float64) error {
+	if math.IsNaN(d) {
+		return fmt.Errorf("sparse: density is NaN")
+	}
+	if d <= 0 || d > 1 {
+		return fmt.Errorf("sparse: density %g out of (0, 1]", d)
+	}
+	return nil
+}
+
+// Validate checks a collection spec before instantiation: family in
+// range, positive paper footprint and row length. Hand-built specs
+// (tests, tooling) go through the same gate the collection does.
+func (sp Spec) Validate() error {
+	if sp.Family < 0 || sp.Family >= NumFamilies {
+		return fmt.Errorf("sparse: spec %q: unknown family %d (have 0..%d)",
+			sp.Name, int(sp.Family), int(NumFamilies)-1)
+	}
+	if sp.PaperFootprint <= 0 {
+		return fmt.Errorf("sparse: spec %q: paper footprint must be positive, got %d",
+			sp.Name, sp.PaperFootprint)
+	}
+	if sp.RowNNZ <= 0 {
+		return fmt.Errorf("sparse: spec %q: target row length must be positive, got %d",
+			sp.Name, sp.RowNNZ)
+	}
+	return nil
+}
+
+// Checked is Instantiate behind the validation gate: a malformed spec
+// or a non-positive scale returns an error instead of clamping or
+// panicking downstream. This is what the harness sweeps call.
+func (sp Spec) Checked(scale int64) (*CSR, error) {
+	if scale < 1 {
+		return nil, fmt.Errorf("sparse: spec %q: scale divisor must be >= 1, got %d", sp.Name, scale)
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	return sp.Instantiate(scale), nil
+}
+
+// RandomDensity generates an n×n uniformly random matrix with the
+// given nonzero density (fraction of entries present per row, plus the
+// diagonal), validating both inputs — the matgen -gen entry point.
+func RandomDensity(n int, density float64, seed uint64) (*CSR, error) {
+	if err := CheckDims("n", n); err != nil {
+		return nil, err
+	}
+	if err := CheckDensity(density); err != nil {
+		return nil, err
+	}
+	nnzPerRow := int(math.Round(density * float64(n)))
+	if nnzPerRow < 1 {
+		nnzPerRow = 1
+	}
+	return RandomUniform(n, nnzPerRow, seed), nil
+}

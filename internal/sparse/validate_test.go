@@ -1,0 +1,127 @@
+package sparse
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestCheckDims rejects zero and negative dimensions with the
+// parameter's name in the error.
+func TestCheckDims(t *testing.T) {
+	if err := CheckDims("rows", 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, -1, -4096} {
+		err := CheckDims("rows", n)
+		if err == nil {
+			t.Fatalf("dimension %d accepted", n)
+		}
+		if !strings.Contains(err.Error(), "rows") {
+			t.Fatalf("error %q does not name the parameter", err)
+		}
+	}
+}
+
+// TestCheckDensity rejects NaN and out-of-range densities.
+func TestCheckDensity(t *testing.T) {
+	for _, d := range []float64{0.001, 0.5, 1} {
+		if err := CheckDensity(d); err != nil {
+			t.Fatalf("density %g rejected: %v", d, err)
+		}
+	}
+	for _, d := range []float64{math.NaN(), 0, -0.1, 1.0001, math.Inf(1)} {
+		if err := CheckDensity(d); err == nil {
+			t.Fatalf("density %g accepted", d)
+		}
+	}
+}
+
+// TestSpecValidate checks the spec gate: the collection passes, and
+// each hand-built malformation is caught with the spec's name.
+func TestSpecValidate(t *testing.T) {
+	for _, sp := range Collection() {
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("collection spec %s invalid: %v", sp.Name, err)
+		}
+	}
+	good := Collection()[0]
+	for _, c := range []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"bad family", func(sp *Spec) { sp.Family = NumFamilies }},
+		{"negative family", func(sp *Spec) { sp.Family = -1 }},
+		{"zero footprint", func(sp *Spec) { sp.PaperFootprint = 0 }},
+		{"zero rownnz", func(sp *Spec) { sp.RowNNZ = 0 }},
+	} {
+		sp := good
+		c.mutate(&sp)
+		err := sp.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), good.Name) {
+			t.Errorf("%s: error %q does not name the spec", c.name, err)
+		}
+	}
+}
+
+// TestCheckedGatesInstantiate checks Checked rejects bad scales and
+// bad specs but still instantiates healthy ones.
+func TestCheckedGatesInstantiate(t *testing.T) {
+	sp := Collection()[0]
+	if _, err := sp.Checked(0); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+	if _, err := sp.Checked(-16); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+	bad := sp
+	bad.RowNNZ = 0
+	if _, err := bad.Checked(64); err == nil {
+		t.Fatal("malformed spec instantiated")
+	}
+	m, err := sp.Checked(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows <= 0 || m.NNZ() <= 0 {
+		t.Fatalf("instantiated matrix degenerate: %d rows %d nnz", m.Rows, m.NNZ())
+	}
+}
+
+// TestRandomDensity checks the matgen -gen entry point validates both
+// inputs and otherwise produces the requested structure.
+func TestRandomDensity(t *testing.T) {
+	if _, err := RandomDensity(0, 0.5, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := RandomDensity(64, math.NaN(), 1); err == nil {
+		t.Fatal("NaN density accepted")
+	}
+	if _, err := RandomDensity(64, 0, 1); err == nil {
+		t.Fatal("zero density accepted")
+	}
+	m, err := RandomDensity(128, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 128 {
+		t.Fatalf("rows = %d", m.Rows)
+	}
+	// 0.05 × 128 ≈ 6 nonzeros per row (plus the diagonal's guarantee).
+	avg := float64(m.NNZ()) / 128
+	if avg < 3 || avg > 12 {
+		t.Fatalf("avg row nnz %.1f, want ≈6", avg)
+	}
+	// Tiny density still yields at least the guaranteed 1 nnz/row.
+	m2, err := RandomDensity(32, 1e-6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NNZ() < 32 {
+		t.Fatalf("nnz %d below the 1-per-row floor", m2.NNZ())
+	}
+}

@@ -1,0 +1,177 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+func chaosInjector(t *testing.T, kind faultinject.Kind, rate float64) *faultinject.Injector {
+	t.Helper()
+	in := faultinject.New(5)
+	if err := in.Add(faultinject.PointStore, kind, rate, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestTornWritesAreAbsorbed checks the torn-write chaos vector: every
+// Put commits despite the injected crash-mid-append, the damage and
+// its in-place repair are both counted, and a reopen replays a clean
+// journal — no corrupt records, no truncated tail, every value intact.
+func TestTornWritesAreAbsorbed(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s := openT(t, dir, reg)
+	s.SetInjector(chaosInjector(t, faultinject.KindTorn, 1))
+	want := map[string]payload{}
+	for _, k := range []string{"m-001", "m-002", "m-003", "m-004"} {
+		v := payload{GFlops: float64(len(k)) * 1.5, Label: k}
+		want[Digest("v1", k)] = v
+		if err := s.Put(Digest("v1", k), "sparse/SpMV", k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.TornWrites != 4 || st.WriteRepairs != 4 {
+		t.Fatalf("torn/repairs = %d/%d, want 4/4", st.TornWrites, st.WriteRepairs)
+	}
+	if reg.Counter("store/torn_writes").Value() != 4 || reg.Counter("store/write_repairs").Value() != 4 {
+		t.Fatal("torn-write counters not published")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, nil)
+	defer s2.Close()
+	st2 := s2.Stats()
+	if st2.Corrupt != 0 || st2.TruncatedBytes != 0 {
+		t.Fatalf("repaired journal still damaged on reopen: %+v", st2)
+	}
+	if s2.Len() != len(want) {
+		t.Fatalf("reopen lost records: %d of %d", s2.Len(), len(want))
+	}
+	for d, w := range want {
+		var got payload
+		if ok, err := s2.Get(d, &got); err != nil || !ok || got != w {
+			t.Fatalf("get %s after torn-write run: ok=%v err=%v got=%+v", d, ok, err, got)
+		}
+	}
+}
+
+// TestCorruptWritesDetectedOnReplay checks the silent-damage vector:
+// the running session keeps serving the good in-memory entry, but the
+// bit-flipped journal record fails its CRC on reopen, is skipped and
+// counted, and the cell falls back to a miss (the recompute path).
+func TestCorruptWritesDetectedOnReplay(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s := openT(t, dir, reg)
+	s.SetInjector(chaosInjector(t, faultinject.KindCorrupt, 1))
+	d := Digest("v1", "m-corrupt")
+	want := payload{GFlops: 3.25, Label: "m-corrupt"}
+	if err := s.Put(d, "sparse/SpMV", "m-corrupt", want); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().CorruptWrites != 1 || reg.Counter("store/corrupt_writes").Value() != 1 {
+		t.Fatal("corrupt write not counted")
+	}
+	// Same session: the in-memory index still holds the good value.
+	var got payload
+	if ok, err := s.Get(d, &got); err != nil || !ok || got != want {
+		t.Fatalf("same-session get after corrupt write: ok=%v err=%v got=%+v", ok, err, got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := obs.NewRegistry()
+	s2 := openT(t, dir, reg2)
+	defer s2.Close()
+	if st := s2.Stats(); st.Corrupt != 1 {
+		t.Fatalf("reopen Corrupt = %d, want 1 (%+v)", st.Corrupt, st)
+	}
+	if reg2.Counter("store/corrupt_records").Value() != 1 {
+		t.Fatal("corrupt record not counted on replay")
+	}
+	if ok, _ := s2.Get(d, &got); ok {
+		t.Fatal("bit-flipped record served after reopen")
+	}
+	// The miss is survivable: the cell recomputes and recommits.
+	s2.SetInjector(nil) // chaos over
+	if err := s2.Put(d, "sparse/SpMV", "m-corrupt", want); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s2.Get(d, &got); err != nil || !ok || got != want {
+		t.Fatalf("recommit after corruption: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestStoreChaosMix interleaves torn, corrupt and clean writes (rate
+// 0.5 over many keys) and checks the session-end invariant: clean +
+// torn records replay, corrupt ones drop, and the reopened store
+// serves exactly the surviving set.
+func TestStoreChaosMix(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, nil)
+	in := faultinject.New(9)
+	if err := in.Add(faultinject.PointStore, faultinject.KindTorn, 0.4, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Add(faultinject.PointStore, faultinject.KindCorrupt, 0.4, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.SetInjector(in)
+	const n = 64
+	for i := 0; i < n; i++ {
+		k := Digest("mix", string(rune('a'+i%26)), string(rune('0'+i/26)))
+		if err := s.Put(k, "exp", k, payload{GFlops: float64(i), Label: k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.TornWrites == 0 || st.CorruptWrites == 0 {
+		t.Fatalf("chaos mix fired torn=%d corrupt=%d, want both > 0", st.TornWrites, st.CorruptWrites)
+	}
+	if st.TornWrites != st.WriteRepairs {
+		t.Fatalf("unrepaired torn writes: %d torn, %d repairs", st.TornWrites, st.WriteRepairs)
+	}
+	if st.Commits != n {
+		t.Fatalf("commits = %d, want %d (damage must not lose commits this session)", st.Commits, n)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, nil)
+	defer s2.Close()
+	st2 := s2.Stats()
+	if st2.Corrupt != st.CorruptWrites {
+		t.Fatalf("reopen dropped %d records, want %d (every corrupt write, nothing else)",
+			st2.Corrupt, st.CorruptWrites)
+	}
+	if got, want := s2.Len(), n-st.CorruptWrites; got != want {
+		t.Fatalf("survivors = %d, want %d", got, want)
+	}
+}
+
+// TestSetInjectorNilSafety checks the chaos seam's off switches: a nil
+// store and a detached injector both no-op.
+func TestSetInjectorNilSafety(t *testing.T) {
+	var s *Store
+	s.SetInjector(faultinject.New(1)) // must not panic
+
+	dir := t.TempDir()
+	s2 := openT(t, dir, nil)
+	defer s2.Close()
+	s2.SetInjector(chaosInjector(t, faultinject.KindTorn, 1))
+	s2.SetInjector(nil)
+	if err := s2.Put(Digest("k"), "exp", "k", payload{GFlops: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.TornWrites != 0 {
+		t.Fatal("detached injector still firing")
+	}
+}

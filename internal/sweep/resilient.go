@@ -1,0 +1,105 @@
+package sweep
+
+import (
+	"context"
+	"strconv"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+)
+
+// This file is the resilience half of the engine: the per-job loop that
+// applies an Engine.Policy (retry, backoff, per-attempt deadline,
+// circuit breaker) and fires the Engine.Inject "job" chaos point. With
+// both nil, Map bypasses it entirely — the production fast path.
+
+// resInstruments are the resilience counters one Map resolves up front
+// (nil registry → nil counters → no-op increments).
+type resInstruments struct {
+	retries   *obs.Counter // resilience/retries: attempts beyond the first
+	exhausted *obs.Counter // resilience/retry_exhausted: retryable jobs dropped after the last attempt
+	quarant   *obs.Counter // resilience/quarantined: results rejected by the validation gate
+	deadline  *obs.Counter // resilience/job_deadline_exceeded: attempts that outlived JobTimeout
+	trips     *obs.Counter // resilience/breaker_trips: breakers opened
+	shorted   *obs.Counter // resilience/breaker_short_circuits: jobs failed fast by an open breaker
+}
+
+func resolveResInstruments(reg *obs.Registry) resInstruments {
+	return resInstruments{
+		retries:   reg.Counter("resilience/retries"),
+		exhausted: reg.Counter("resilience/retry_exhausted"),
+		quarant:   reg.Counter("resilience/quarantined"),
+		deadline:  reg.Counter("resilience/job_deadline_exceeded"),
+		trips:     reg.Counter("resilience/breaker_trips"),
+		shorted:   reg.Counter("resilience/breaker_short_circuits"),
+	}
+}
+
+// runJobResilient runs one job under the engine's policy: the breaker
+// gate, then up to Attempts() tries, each with its own attempt-stamped
+// (and, with JobTimeout, deadline-bounded) context, separated by
+// deterministic backoff sleeps that abort — without re-submitting — the
+// moment the sweep context is cancelled.
+func runJobResilient[J, R any](ctx context.Context, pol *resilience.Policy, inj *faultinject.Injector,
+	br *resilience.Breaker, w *Worker, index int, job J,
+	fn func(context.Context, *Worker, J) (R, error), mPanics *obs.Counter, ri resInstruments) (R, error) {
+	var zero R
+	if !br.Allow() {
+		ri.shorted.Inc()
+		return zero, resilience.ErrBreakerOpen
+	}
+	// The job key feeds the injector's fire decision and the backoff
+	// jitter; the submission index is the one identity every job has.
+	key := strconv.Itoa(index)
+	attempts := pol.Attempts()
+	timeout := pol.Timeout()
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		actx := resilience.WithAttempt(ctx, attempt)
+		cancel := context.CancelFunc(func() {})
+		if timeout > 0 {
+			actx, cancel = context.WithTimeout(actx, timeout)
+		}
+		r, err := runJob(actx, w, job, fn, mPanics, inj, key)
+		// Attribute attempt-deadline expiry (parent still alive) to the
+		// policy: the failure is retryable, and a success that arrived
+		// only after its deadline is no success at all.
+		if timeout > 0 && actx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+			err = &resilience.TimeoutError{Attempt: attempt, Limit: timeout}
+			ri.deadline.Inc()
+		}
+		cancel()
+		if err == nil {
+			br.Success()
+			return r, nil
+		}
+		lastErr = err
+		if resilience.IsQuarantine(err) {
+			ri.quarant.Inc()
+		}
+		if ctx.Err() != nil {
+			// Whole-sweep cancellation is not a job failure: surface the
+			// context error and leave the breaker alone.
+			return zero, err
+		}
+		if !pol.Retryable(err) {
+			break
+		}
+		if attempt+1 >= attempts {
+			if attempts > 1 {
+				ri.exhausted.Inc()
+			}
+			break
+		}
+		if serr := pol.SleepBackoff(ctx, pol.Backoff(key, attempt+1)); serr != nil {
+			// Cancelled mid-backoff: the retry is never re-submitted.
+			return zero, serr
+		}
+		ri.retries.Inc()
+	}
+	if br.Failure() {
+		ri.trips.Inc()
+	}
+	return zero, lastErr
+}

@@ -20,11 +20,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // Engine configures one sweep run. The zero value is ready to use:
-// GOMAXPROCS workers, no progress reporting, no telemetry.
+// GOMAXPROCS workers, no progress reporting, no telemetry, no
+// resilience policy, no fault injection.
 type Engine struct {
 	// Workers bounds the pool size; <= 0 selects runtime.GOMAXPROCS(0).
 	// Workers = 1 reproduces the sequential path exactly (and is what
@@ -38,6 +41,18 @@ type Engine struct {
 	// and worker-utilization plus ETA gauges (see Map for the metric
 	// names). A nil registry costs one branch per job.
 	Obs *obs.Registry
+	// Policy, when non-nil, applies per-job resilience: retry with
+	// capped exponential backoff and seeded jitter for transient
+	// failures, a per-attempt deadline, and a per-sweep circuit
+	// breaker that short-circuits the remaining jobs after a run of
+	// consecutive drops. Nil reproduces the single-attempt behaviour
+	// at the cost of one branch per job.
+	Policy *resilience.Policy
+	// Inject, when non-nil, is the chaos hook: the engine fires the
+	// injector's "job" point (keyed by submission index) before every
+	// attempt. Nil — the production setting — costs one branch per
+	// job; the chaos suite's nil-injector benchmark holds it there.
+	Inject *faultinject.Injector
 }
 
 // Progress is one advancement report of a running sweep.
@@ -201,6 +216,18 @@ func Map[J, R any](ctx context.Context, e *Engine, jobs []J, fn func(ctx context
 		mETA    = e.Obs.Gauge("sweep/eta_seconds")
 	)
 	total := len(jobs)
+	// Resilience state: one breaker per Map call (= per sweep family),
+	// instruments resolved once. resilient stays false on the
+	// production fast path (nil policy, nil injector).
+	resilient := e.Policy != nil || e.Inject != nil
+	var (
+		breaker *resilience.Breaker
+		resIns  resInstruments
+	)
+	if resilient {
+		breaker = e.Policy.NewBreaker()
+		resIns = resolveResInstruments(e.Obs)
+	}
 	// etaRate is the EWMA-smoothed overall ns-per-job estimate,
 	// guarded by mu (report is serialized).
 	var etaRate float64
@@ -257,7 +284,14 @@ func Map[J, R any](ctx context.Context, e *Engine, jobs []J, fn func(ctx context
 					t0 = time.Now()
 					mWait.Observe(t0.Sub(start))
 				}
-				if r, err := runJob(ctx, w, jobs[i], fn, mPanics); err != nil {
+				var r R
+				var err error
+				if resilient {
+					r, err = runJobResilient(ctx, e.Policy, e.Inject, breaker, w, i, jobs[i], fn, mPanics, resIns)
+				} else {
+					r, err = runJob(ctx, w, jobs[i], fn, mPanics, nil, "")
+				}
+				if err != nil {
 					fail(i, err)
 				} else {
 					results[i] = r
@@ -288,14 +322,25 @@ func Map[J, R any](ctx context.Context, e *Engine, jobs []J, fn func(ctx context
 
 // runJob invokes fn with panic containment: a panicking cell (e.g. a
 // buffer bounds violation in a trace generator) becomes that job's
-// error instead of killing the whole sweep, counted on panics.
-func runJob[J, R any](ctx context.Context, w *Worker, job J, fn func(context.Context, *Worker, J) (R, error), panics *obs.Counter) (r R, err error) {
+// error instead of killing the whole sweep, counted on panics. With a
+// non-nil injector the "job" chaos point fires first, inside the
+// recover scope so injected panics are contained like real ones — but
+// classified transient (an InjectedPanic heals on retry, a real panic
+// is a deterministic bug that would only panic again).
+func runJob[J, R any](ctx context.Context, w *Worker, job J, fn func(context.Context, *Worker, J) (R, error), panics *obs.Counter, inj *faultinject.Injector, key string) (r R, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			panics.Inc()
+			if ip, ok := p.(faultinject.InjectedPanic); ok {
+				err = resilience.MarkTransient(fmt.Errorf("sweep: job panicked: %s", ip))
+				return
+			}
 			err = fmt.Errorf("sweep: job panicked: %v", p)
 		}
 	}()
+	if ferr := inj.Job(ctx, key); ferr != nil {
+		return r, ferr
+	}
 	return fn(ctx, w, job)
 }
 

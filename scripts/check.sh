@@ -30,3 +30,15 @@ go test -race $pkgs
 # its suite twice under the race detector to shake out ordering flakes.
 echo "== go test -race -count=2 ./internal/store"
 go test -race -count=2 ./internal/store
+
+# Chaos gate: the fault-injection scenarios run explicitly, under the
+# race detector, with their fixed fault seeds (every chaos spec pins
+# seed=N, so the injected fault set is identical on every run). The
+# torn-write scenarios (TestChaosStoreTornWrites and
+# TestTornWritesAreAbsorbed) assert the store-corruption counters —
+# store/torn_writes and store/write_repairs — are non-zero, so a
+# silently disabled injector fails this gate instead of passing
+# vacuously.
+echo "== chaos suite (go test -race, fixed fault seeds)"
+go test -race -count=1 -run 'TestChaos|TestTornWrites|TestCorruptWrites|TestStoreChaos' \
+	./internal/harness ./internal/store
