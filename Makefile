@@ -1,6 +1,6 @@
 # Convenience targets; see scripts/check.sh for the full gate.
 
-.PHONY: build test check chaos bench bench-obs bench-store bench-resilience profile
+.PHONY: build test lint lint-diff check chaos bench bench-obs bench-store bench-resilience profile
 
 build:
 	go build ./...
@@ -8,7 +8,17 @@ build:
 test:
 	go test ./...
 
-# Full pre-merge gate: vet + (optional) staticcheck + race-enabled tests.
+# Contract linter (cmd/opmlint): determinism, telemetry and resilience
+# rules as a hard gate. Suppress with //opmlint:allow <check> — <reason>.
+lint:
+	go run ./cmd/opmlint ./...
+
+# Compare current findings against scripts/lint-baseline.json.
+lint-diff:
+	scripts/lint-diff.sh
+
+# Full pre-merge gate: vet + opmlint + (optional) staticcheck +
+# race-enabled tests.
 check:
 	scripts/check.sh
 

@@ -166,7 +166,7 @@ func (in *Injector) Add(point string, kind Kind, rate float64, count int, delay 
 	}
 	r := rule{kind: kind, rate: rate, count: count, delay: delay,
 		salt: uint64(len(in.rules[point]) + 1)}
-	r.fired = in.reg.Counter("fault/" + point + "_" + kind.String())
+	r.fired = in.reg.Counter("fault/" + point + "_" + kind.String()) //opmlint:allow counternames — point and kind are closed enums validated above; the full fault/<point>_<kind> namespace is enumerable
 	in.rules[point] = append(in.rules[point], r)
 	return nil
 }
@@ -181,7 +181,7 @@ func (in *Injector) Bind(reg *obs.Registry) {
 	in.reg = reg
 	for point, rules := range in.rules {
 		for i := range rules {
-			rules[i].fired = reg.Counter("fault/" + point + "_" + rules[i].kind.String())
+			rules[i].fired = reg.Counter("fault/" + point + "_" + rules[i].kind.String()) //opmlint:allow counternames — point and kind are closed enums validated at AddRule; the full fault/<point>_<kind> namespace is enumerable
 		}
 		in.rules[point] = rules
 	}

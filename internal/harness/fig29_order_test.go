@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestFig29StableOrder pins the fix for the map-iteration flake: fig29
+// once built its curves by ranging over a map literal, so the CSV row
+// order (and which model error surfaced first) varied run to run. The
+// report must now be byte-identical across runs, with series emitted
+// in sorted-name order.
+func TestFig29StableOrder(t *testing.T) {
+	run := func() *Report {
+		rep, err := runFig29(context.Background(), tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+
+	csvA, csvB := a.CSV["fig29.csv"], b.CSV["fig29.csv"]
+	if len(csvA) == 0 {
+		t.Fatal("fig29.csv missing")
+	}
+	if strings.Join(csvA, "\n") != strings.Join(csvB, "\n") {
+		t.Error("fig29.csv differs between two identical runs")
+	}
+	if a.Text != b.Text {
+		t.Error("fig29 text report differs between two identical runs")
+	}
+
+	// Series blocks appear in sorted-name order: cache, ddr, flat,
+	// hybrid — each contiguous.
+	wantOrder := []string{"cache", "ddr", "flat", "hybrid"}
+	var gotOrder []string
+	for _, line := range csvA[1:] { // skip header
+		name := line[:strings.Index(line, ",")]
+		if len(gotOrder) == 0 || gotOrder[len(gotOrder)-1] != name {
+			gotOrder = append(gotOrder, name)
+		}
+	}
+	if len(gotOrder) != len(wantOrder) {
+		t.Fatalf("want %d contiguous series blocks %v, got %v", len(wantOrder), wantOrder, gotOrder)
+	}
+	for i, name := range wantOrder {
+		if gotOrder[i] != name {
+			t.Fatalf("series order = %v, want %v", gotOrder, wantOrder)
+		}
+	}
+}

@@ -165,6 +165,8 @@ func instrumentAll(exps []Experiment) []Experiment {
 // manifest attached to the finished report. It touches nothing the
 // deterministic report bytes (Text/CSV/Findings) are built from, so
 // enabling telemetry can never change a rendered figure.
+//
+//opmlint:allow determinism — wall time here is reported (logs, span, manifest timestamps), never fed back into simulated results; the equivalence suites compare report bytes that exclude it
 func instrument(id string, run func(context.Context, Options) (*Report, error)) func(context.Context, Options) (*Report, error) {
 	return func(ctx context.Context, opt Options) (*Report, error) {
 		log := opt.logger()

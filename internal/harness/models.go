@@ -292,19 +292,26 @@ func runFig29(_ context.Context, _ Options) (*Report, error) {
 	minFP, maxFP := int64(1<<22), int64(64)<<30
 	levelsFor := func(mode memsim.Mode) ([]stepping.Level, error) { return steppingLevels(knl, mode) }
 	curves := map[string]stepping.Curve{}
-	for name, mode := range map[string]memsim.Mode{
-		"ddr": memsim.ModeDDR, "cache": memsim.ModeCache, "hybrid": memsim.ModeHybrid,
+	// Iterate an explicitly ordered slice, not a map literal: the
+	// first model error reported must be the same one on every run
+	// (and opmlint's rangesort check bans map-literal iteration).
+	for _, mc := range []struct {
+		name, label string
+		mode        memsim.Mode
+	}{
+		{"ddr", "w/o MCDRAM", memsim.ModeDDR},
+		{"cache", "cache", memsim.ModeCache},
+		{"hybrid", "hybrid", memsim.ModeHybrid},
 	} {
-		ls, err := levelsFor(mode)
+		ls, err := levelsFor(mc.mode)
 		if err != nil {
 			return nil, err
 		}
-		label := map[string]string{"ddr": "w/o MCDRAM", "cache": "cache", "hybrid": "hybrid"}[name]
-		c, err := stepping.Model(label, ls, k, minFP, maxFP, 128)
+		c, err := stepping.Model(mc.label, ls, k, minFP, maxFP, 128)
 		if err != nil {
-			return nil, fmt.Errorf("fig29 %s curve: %w", name, err)
+			return nil, fmt.Errorf("fig29 %s curve: %w", mc.name, err)
 		}
-		curves[name] = c
+		curves[mc.name] = c
 	}
 	// Flat mode: MCDRAM is memory while resident, split pathology past
 	// capacity. Model as MCDRAM-memory below 16GB, penalized beyond.

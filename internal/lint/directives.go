@@ -1,0 +1,171 @@
+package lint
+
+// directives.go implements the audit trail for exceptions: the
+// //opmlint:allow directive. A directive names the check(s) it
+// silences and must carry a reason; it suppresses findings on its own
+// line, on the line directly below it, or — when it sits in a
+// declaration's doc comment — anywhere inside that declaration.
+// Directives that are malformed, name an unknown check, or suppress
+// nothing are reported as findings of the synthetic "opmlint" check,
+// so a stale annotation cannot quietly disable a rule.
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+const allowPrefix = "//opmlint:allow"
+
+// directive is one parsed //opmlint:allow comment.
+type directive struct {
+	file   string
+	line   int
+	checks map[string]bool
+	reason string
+	// [startLine, endLine] is the window of suppressed finding lines.
+	startLine, endLine int
+	used               bool
+	// malformed, when non-empty, turns the directive into a finding.
+	malformed string
+}
+
+// collectDirectives parses every //opmlint:allow comment in p.
+func collectDirectives(w *World, p *Package) []*directive {
+	known := map[string]bool{}
+	for _, c := range AllChecks() {
+		known[c.Name] = true
+	}
+	var out []*directive
+	for _, f := range p.Files {
+		// Doc-comment groups map to the whole declaration they document.
+		docRange := map[*ast.CommentGroup][2]int{}
+		for _, decl := range f.AST.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc != nil {
+				docRange[doc] = [2]int{
+					w.Fset.Position(decl.Pos()).Line,
+					w.Fset.Position(decl.End()).Line,
+				}
+			}
+		}
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				line := w.Fset.Position(c.Pos()).Line
+				d := parseDirective(c.Text, known)
+				d.file, d.line = f.Rel, line
+				if r, ok := docRange[cg]; ok {
+					d.startLine, d.endLine = r[0], r[1]
+				} else {
+					d.startLine, d.endLine = line, line+1
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// parseDirective parses "//opmlint:allow <check>[,<check>] — <reason>".
+// The reason separator is an em dash or "--".
+func parseDirective(text string, known map[string]bool) *directive {
+	d := &directive{checks: map[string]bool{}}
+	rest := strings.TrimPrefix(text, allowPrefix)
+	if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		d.malformed = "missing check name"
+		return d
+	}
+	var checksPart string
+	switch {
+	case strings.Contains(rest, "—"):
+		parts := strings.SplitN(rest, "—", 2)
+		checksPart, d.reason = parts[0], strings.TrimSpace(parts[1])
+	case strings.Contains(rest, "--"):
+		parts := strings.SplitN(rest, "--", 2)
+		checksPart, d.reason = parts[0], strings.TrimSpace(parts[1])
+	default:
+		d.malformed = "missing reason (want: //opmlint:allow <check> — <reason>)"
+		return d
+	}
+	if d.reason == "" {
+		d.malformed = "empty reason (want: //opmlint:allow <check> — <reason>)"
+		return d
+	}
+	names := strings.Split(strings.TrimSpace(checksPart), ",")
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			d.malformed = "missing check name"
+			return d
+		}
+		if !known[n] {
+			d.malformed = fmt.Sprintf("unknown check %q", n)
+			return d
+		}
+		d.checks[n] = true
+	}
+	return d
+}
+
+// applyDirectives filters one package's findings through its
+// directives and appends the directives' own findings (malformed or
+// unused annotations). enabled is the set of check names that
+// actually ran: a directive is only auditable as "unused" when every
+// check it names had the chance to fire.
+func applyDirectives(dirs []*directive, findings []Finding, enabled map[string]bool) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		suppressed := false
+		for _, d := range dirs {
+			if d.malformed != "" || !d.checks[f.Check] || d.file != f.File {
+				continue
+			}
+			if f.Line >= d.startLine && f.Line <= d.endLine {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	for _, d := range dirs {
+		switch {
+		case d.malformed != "":
+			out = append(out, Finding{
+				File: d.file, Line: d.line, Col: 1, Check: "opmlint",
+				Msg:  "malformed //opmlint:allow directive: " + d.malformed,
+				Hint: "format: //opmlint:allow <check>[,<check>] — <reason>",
+			})
+		case !d.used:
+			names := make([]string, 0, len(d.checks))
+			allRan := true
+			for n := range d.checks {
+				names = append(names, n)
+				if !enabled[n] {
+					allRan = false
+				}
+			}
+			if !allRan {
+				continue
+			}
+			sort.Strings(names)
+			out = append(out, Finding{
+				File: d.file, Line: d.line, Col: 1, Check: "opmlint",
+				Msg:  fmt.Sprintf("unused //opmlint:allow %s directive (suppresses nothing)", strings.Join(names, ",")),
+				Hint: "delete the annotation or move it onto the offending line",
+			})
+		}
+	}
+	return out
+}

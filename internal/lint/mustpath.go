@@ -1,0 +1,79 @@
+package lint
+
+// mustpath: the repo's panicking Must* helpers (MustNewSim,
+// MustEvaluate, MustMachine, MustModel, ...) are deprecated shims
+// kept for examples and tests. Library and harness code must use the
+// error-returning variants so a bad configuration degrades into a
+// JobError or a partial report instead of killing a whole sweep —
+// that is the resilience layer's contract. The check flags any call
+// to a module-internal Must* function from a non-main package;
+// cmd/ and examples (package main) and _test.go files (never linted)
+// stay free to use them. A Must* helper may delegate to another
+// Must* helper.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+var mustpathCheck = &Check{
+	Name: "mustpath",
+	Doc:  "deprecated Must* helpers callable only from cmd/ and _test.go files",
+	Applies: func(w *World, p *Package) bool {
+		return p.Name != "main" && !strings.HasPrefix(p.ImportPath, w.Module+"/cmd/")
+	},
+	Run: func(pass *Pass) {
+		w, info := pass.World, pass.Pkg.Info
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.AST.Decls {
+				var body ast.Node = decl
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					if fd.Body == nil || isMustName(fd.Name.Name) {
+						continue // Must* shims may compose other Must* shims
+					}
+					body = fd.Body
+				}
+				ast.Inspect(body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					var id *ast.Ident
+					switch fun := call.Fun.(type) {
+					case *ast.Ident:
+						id = fun
+					case *ast.SelectorExpr:
+						id = fun.Sel
+					default:
+						return true
+					}
+					fn, ok := info.Uses[id].(*types.Func)
+					if !ok || fn.Pkg() == nil || !isMustName(fn.Name()) {
+						return true
+					}
+					if !w.Internal(fn.Pkg().Path()) {
+						return true // e.g. regexp.MustCompile is not ours to police
+					}
+					pass.Reportf(call.Pos(),
+						"use the error-returning variant; panicking shims are for cmd/ and tests",
+						"deprecated %s.%s called from library code", fn.Pkg().Name(), fn.Name())
+					return true
+				})
+			}
+		}
+	},
+}
+
+// isMustName reports whether name looks like a panicking helper:
+// "Must" followed by an upper-case rune (MustRun, MustConfig, ...).
+func isMustName(name string) bool {
+	rest, ok := strings.CutPrefix(name, "Must")
+	if !ok || rest == "" {
+		return false
+	}
+	r, _ := utf8.DecodeRuneInString(rest)
+	return unicode.IsUpper(r)
+}

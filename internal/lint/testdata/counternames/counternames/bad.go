@@ -1,0 +1,19 @@
+package counternames
+
+import "repro/internal/obs"
+
+// Record publishes under a dynamically assembled name: the chaos
+// gate's greps and the dashboards can never enumerate it.
+func Record(reg *obs.Registry, level string, n int64) {
+	reg.Counter("cache/" + level + "/hits").Add(n)
+}
+
+// BadName uses a literal that violates the [a-z0-9_/]+ charset.
+func BadName(reg *obs.Registry) {
+	reg.Gauge("Cache-Utilization%").Set(1)
+}
+
+// DynamicHistogram builds a histogram name at run time.
+func DynamicHistogram(reg *obs.Registry, phase string) {
+	reg.Histogram(phase + "_latency").Observe(0)
+}

@@ -1,0 +1,15 @@
+package counternames
+
+import "repro/internal/obs"
+
+// prefix is a compile-time constant, so names folded from it are
+// still compile-time constants the check can read.
+const prefix = "cache/"
+
+// Publish uses literal and constant-folded names.
+func Publish(reg *obs.Registry, n int64) {
+	reg.Counter("cache/l2/hits").Add(n)
+	reg.Counter(prefix + "l2/misses").Add(n)
+	reg.Gauge("cache/utilization").Set(0.5)
+	reg.Histogram("cache/fill_latency").Observe(0)
+}

@@ -1,0 +1,8 @@
+package counternames
+
+import "repro/internal/obs"
+
+// PerLevel publishes one counter per simulated cache level.
+func PerLevel(reg *obs.Registry, level string) {
+	reg.Counter("cache/" + level + "/evictions").Inc() //opmlint:allow counternames — level names come from the fixed, validated config set
+}

@@ -1,0 +1,18 @@
+package determinism
+
+import "math/rand/v2"
+
+// Draw uses an explicitly seeded generator: same seed, same stream,
+// on every run and every machine.
+func Draw(seed uint64) float64 {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	return rng.Float64()
+}
+
+// Shuffled permutes a copy deterministically from the seed.
+func Shuffled(seed uint64, xs []int) []int {
+	out := append([]int(nil), xs...)
+	rng := rand.New(rand.NewPCG(seed, seed|1))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

@@ -1,0 +1,8 @@
+package determinism
+
+import "time"
+
+// Wall reports elapsed wall time for operator display only.
+func Wall(start time.Time) time.Duration {
+	return time.Since(start) //opmlint:allow determinism — display-only timing, never fed back into results
+}

@@ -1,0 +1,16 @@
+package store
+
+import "os"
+
+// Scribble journals one line, ignoring every failure on the way —
+// "crash-safe checkpoint" turned silent data loss.
+func Scribble(f *os.File, line string) {
+	f.WriteString(line)
+	_ = f.Sync()
+}
+
+// Reopen swallows the error that says why the journal is gone.
+func Reopen(path string) *os.File {
+	f, _ := os.Open(path)
+	return f
+}

@@ -1,0 +1,43 @@
+package store
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Persist propagates every write failure, as a journal must.
+func Persist(f *os.File, line string) error {
+	if _, err := f.WriteString(line); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+// Fingerprint may ignore strings.Builder and hash.Hash write results:
+// both are defined to never fail, and the check knows it.
+func Fingerprint(parts []string) string {
+	var b strings.Builder
+	h := sha256.New()
+	for _, p := range parts {
+		b.WriteString(p)
+		h.Write([]byte(p))
+		fmt.Fprintf(&b, "/%d", len(p))
+	}
+	return fmt.Sprintf("%s:%x", b.String(), h.Sum(nil))
+}
+
+// Read closes via defer — the accepted read-path idiom the check
+// leaves alone.
+func Read(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return os.ReadFile(path)
+}

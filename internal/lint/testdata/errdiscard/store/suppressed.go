@@ -1,0 +1,10 @@
+package store
+
+import "os"
+
+// Cleanup scraps a temp file on a path where the causing error is
+// already being returned.
+func Cleanup(f *os.File, tmp string) {
+	f.Close()      //opmlint:allow errdiscard — best-effort cleanup on an already-failed path
+	os.Remove(tmp) //opmlint:allow errdiscard — best-effort cleanup on an already-failed path
+}

@@ -1,0 +1,7 @@
+package mustpath
+
+// Twice calls the deprecated panicking helper from library code: a
+// bad input would kill the whole sweep instead of becoming a JobError.
+func Twice() int {
+	return MustParse(true) * 2
+}

@@ -1,0 +1,30 @@
+package mustpath
+
+import "fmt"
+
+// Parse returns n or an error; library code uses this variant.
+func Parse(ok bool) (int, error) {
+	if !ok {
+		return 0, fmt.Errorf("mustpath: parse failed")
+	}
+	return 1, nil
+}
+
+// MustParse is the panicking shim, legal only in cmd/ and _test.go
+// files. Defining it is fine; calling it from library code is not.
+func MustParse(ok bool) int {
+	n, err := Parse(ok)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Doubled propagates the error like library code should.
+func Doubled(ok bool) (int, error) {
+	n, err := Parse(ok)
+	if err != nil {
+		return 0, err
+	}
+	return 2 * n, nil
+}

@@ -1,0 +1,6 @@
+package mustpath
+
+// Known feeds MustParse an input that cannot fail.
+func Known() int {
+	return MustParse(true) //opmlint:allow mustpath — constant true input cannot fail
+}

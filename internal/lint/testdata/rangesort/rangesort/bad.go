@@ -1,0 +1,32 @@
+package rangesort
+
+import (
+	"fmt"
+	"io"
+)
+
+// Keys returns map keys in iteration order — a different order every
+// run.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Dump writes map entries straight to w in iteration order.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Pick consumes an inline map literal in iteration order.
+func Pick() string {
+	s := ""
+	for k := range map[string]bool{"a": true, "b": true} {
+		s += k
+	}
+	return s
+}

@@ -1,0 +1,34 @@
+package rangesort
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SortedKeys collects then sorts: the canonical fix, and the reason
+// the check exempts slices that flow into a sort call.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// DumpSorted writes entries in sorted-key order.
+func DumpSorted(w io.Writer, m map[string]int) {
+	for _, k := range SortedKeys(m) {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// Total aggregates over a map — order-independent, never flagged.
+func Total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,11 @@
+package rangesort
+
+// Tags returns the key set of a map whose consumers treat it as an
+// unordered set.
+func Tags(m map[string]bool) []string {
+	var out []string
+	for k := range m { //opmlint:allow rangesort — consumers treat this as an unordered set; nothing renders it
+		out = append(out, k)
+	}
+	return out
+}

@@ -46,7 +46,7 @@ func NewManifest(tool string) *Manifest {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Start:      time.Now(),
+		Start:      time.Now(), //opmlint:allow determinism — provenance timestamp; manifests ride beside reports and never enter the compared bytes
 	}
 }
 
@@ -55,7 +55,7 @@ func (m *Manifest) Finish() {
 	if m == nil {
 		return
 	}
-	m.End = time.Now()
+	m.End = time.Now() //opmlint:allow determinism — provenance timestamp; manifests ride beside reports and never enter the compared bytes
 	m.WallMS = m.End.Sub(m.Start).Milliseconds()
 }
 

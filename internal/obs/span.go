@@ -33,7 +33,10 @@ func (r *Registry) StartSpan(path string) *Span {
 	if r == nil {
 		return nil
 	}
-	return &Span{reg: r, path: path, start: time.Now()}
+	// This is the obs layer's one legitimate clock start: span timing is
+	// reported to operators and dumped in snapshots, and nothing in this
+	// package feeds the deterministic report bytes (see package doc).
+	return &Span{reg: r, path: path, start: time.Now()} //opmlint:allow determinism — span wall time is telemetry output only, never an input to simulated results
 }
 
 // Child starts a sub-span nested under this span's path. Safe on a
@@ -52,7 +55,7 @@ func (s *Span) End() time.Duration {
 	if s == nil {
 		return 0
 	}
-	d := time.Since(s.start)
+	d := time.Since(s.start) //opmlint:allow determinism — span wall time is telemetry output only, never an input to simulated results
 	s.reg.mu.RLock()
 	st, ok := s.reg.spans[s.path]
 	s.reg.mu.RUnlock()

@@ -136,7 +136,7 @@ func writeAtomic(path string, data []byte) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+		os.Remove(tmp) //opmlint:allow errdiscard — best-effort scrap of the temp file; the rename error is returned
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil

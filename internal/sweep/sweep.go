@@ -186,6 +186,8 @@ func (w *Worker) Drop(key any) { delete(w.pool, key) }
 //	sweep/queue_wait          submission-to-start delay (histogram)
 //	sweep/worker_utilization  busy time / (workers × wall) (gauge)
 //	sweep/eta_seconds         smoothed remaining-time estimate (gauge)
+//
+//opmlint:allow determinism — the wall clock feeds only telemetry (latency/wait histograms, utilization, ETA) and progress callbacks; results[i] depends solely on jobs[i], which the parallel==sequential equivalence tests pin byte-for-byte
 func Map[J, R any](ctx context.Context, e *Engine, jobs []J, fn func(ctx context.Context, w *Worker, job J) (R, error)) ([]R, error) {
 	if e == nil {
 		e = &Engine{}

@@ -13,6 +13,14 @@ pkgs="${*:-./...}"
 echo "== go vet $pkgs"
 go vet $pkgs
 
+# opmlint is this repo's own contract linter (cmd/opmlint): it
+# mechanizes the determinism, telemetry and resilience rules the
+# equivalence suites depend on. It is a hard gate — a finding fails
+# the build; legitimate exceptions carry //opmlint:allow annotations
+# with reasons (see DESIGN.md §10).
+echo "== opmlint $pkgs"
+go run ./cmd/opmlint $pkgs
+
 # staticcheck is optional: it is not vendored and this gate must work
 # in hermetic containers that cannot install tools. When present it
 # runs as a hard check; when absent we say so and move on.

@@ -1,0 +1,47 @@
+#!/bin/sh
+# lint-diff.sh — compare opmlint's current findings against the
+# committed baseline (scripts/lint-baseline.json). The baseline is the
+# accepted debt ledger: [] today, and the gate's job is to keep it
+# there. Exits 0 when the findings match the baseline exactly, 1 when
+# they drifted (new findings OR fixed ones that should be removed from
+# the baseline), 2 when opmlint itself failed to load the tree.
+#
+# Usage: scripts/lint-diff.sh [package...]     (defaults to ./...)
+#        scripts/lint-diff.sh -update [pkg...] to rewrite the baseline
+set -u
+cd "$(dirname "$0")/.."
+
+baseline="scripts/lint-baseline.json"
+
+update=0
+if [ "${1:-}" = "-update" ]; then
+	update=1
+	shift
+fi
+pkgs="${*:-./...}"
+
+current="$(mktemp)"
+trap 'rm -f "$current"' EXIT
+
+# Exit 1 just means findings exist — that is data here, not failure.
+# Exit 2 means the tree would not load/type-check: propagate it.
+go run ./cmd/opmlint -json $pkgs >"$current"
+status=$?
+if [ "$status" -ge 2 ]; then
+	echo "lint-diff: opmlint failed (exit $status)" >&2
+	exit 2
+fi
+
+if [ "$update" -eq 1 ]; then
+	cp "$current" "$baseline"
+	echo "lint-diff: baseline rewritten ($(grep -c '"check"' "$baseline" || true) findings)"
+	exit 0
+fi
+
+if diff -u "$baseline" "$current"; then
+	echo "lint-diff: findings match baseline"
+	exit 0
+fi
+echo "lint-diff: findings drifted from $baseline" >&2
+echo "lint-diff: fix new findings, or run scripts/lint-diff.sh -update to accept" >&2
+exit 1
