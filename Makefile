@@ -1,6 +1,6 @@
 # Convenience targets; see scripts/check.sh for the full gate.
 
-.PHONY: build test lint lint-diff check chaos bench bench-obs bench-store bench-resilience profile
+.PHONY: build test lint lint-diff check calib calib-baseline chaos bench bench-obs bench-store bench-resilience bench-twin profile
 
 build:
 	go build ./...
@@ -21,6 +21,23 @@ lint-diff:
 # race-enabled tests.
 check:
 	scripts/check.sh
+
+# Twin calibration: sweep both estimators over the quick paper grid,
+# print per-family MAPE / Pearson r, and fail if any family regressed
+# past scripts/calib-baseline.json (+10% relative slack).
+calib:
+	go run ./cmd/opmcalib -check
+
+# Re-measure and overwrite the checked-in calibration baseline. Run
+# after a deliberate twin-model change, and commit the diff together
+# with the matching twin.DefaultBounds update.
+calib-baseline:
+	go run ./cmd/opmcalib -write-baseline
+
+# Twin payoff guard: both estimators over the same dense + curve sweep
+# slices; the curve cells are where exact simulation pays per access.
+bench-twin:
+	go test -bench=BenchmarkTwinVsExact -benchtime=3x -run=^$$ ./internal/twin
 
 # Chaos suite: fault-injected sweeps, retry/breaker/deadline paths, and
 # store write damage, all under the race detector with fixed fault

@@ -1,0 +1,80 @@
+// Command opmcalib calibrates the analytic twin (internal/twin)
+// against the exact simulator and gates its error: it sweeps both
+// estimators over a paper-shaped grid, prints per-family MAPE and
+// Pearson r, and optionally checks the result against (or rewrites)
+// the checked-in baseline scripts/calib-baseline.json.
+//
+// Usage:
+//
+//	opmcalib                  # print the quick-grid report
+//	opmcalib -check           # exit 1 if any family regressed past baseline
+//	opmcalib -write-baseline  # re-baseline after a deliberate model change
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/twin/calib"
+)
+
+func main() {
+	var (
+		full     = flag.Bool("full", false, "dense calibration grid (re-baselining)")
+		baseline = flag.String("baseline", "scripts/calib-baseline.json", "baseline file")
+		check    = flag.Bool("check", false, "fail if any family's MAPE regressed past baseline")
+		slack    = flag.Float64("slack", 0.10, "fractional headroom over baseline before -check fails")
+		write    = flag.Bool("write-baseline", false, "rewrite the baseline from this run")
+		out      = flag.String("out", "", "write the full report (including cells) as JSON")
+	)
+	flag.Parse()
+	if err := run(*full, *baseline, *check, *slack, *write, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "opmcalib:", err)
+		os.Exit(1)
+	}
+}
+
+func run(full bool, baseline string, check bool, slack float64, write bool, out string) error {
+	rep, err := calib.Run(context.Background(), calib.Options{Full: full})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("twin calibration (%s vs %s)\n", rep.TwinVersion, rep.ExactVersion)
+	fmt.Printf("%-10s %6s %10s %10s\n", "family", "cells", "MAPE", "pearson r")
+	for _, f := range rep.Families {
+		fmt.Printf("%-10s %6d %9.2f%% %10.4f\n", f.Family, f.Cells, 100*f.MAPE, f.R)
+	}
+	if out != "" {
+		data, err := reportJSON(rep)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if write {
+		if err := rep.WriteBaseline(baseline); err != nil {
+			return err
+		}
+		fmt.Println("baseline written:", baseline)
+	}
+	if check {
+		b, err := calib.LoadBaseline(baseline)
+		if err != nil {
+			return err
+		}
+		if err := rep.Check(b, slack); err != nil {
+			return err
+		}
+		fmt.Println("baseline check: ok")
+	}
+	return nil
+}
+
+func reportJSON(rep *calib.Report) ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}

@@ -8,10 +8,23 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/plot"
 	"repro/internal/stepping"
 )
+
+// curve evaluates one stepping model, exiting with the error on bad
+// flag combinations instead of panicking (stepping.MustModel is
+// deprecated).
+func curve(name string, levels []stepping.Level, k stepping.Kernel, minFP, maxFP int64, points int) stepping.Curve {
+	c, err := stepping.Model(name, levels, k, minFP, maxFP, points)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "steppingviz:", err)
+		os.Exit(1)
+	}
+	return c
+}
 
 func main() {
 	var (
@@ -31,8 +44,8 @@ func main() {
 	noOPM := []stepping.Level{base[0], base[2]}
 
 	minFP, maxFP := int64(1<<20), int64(8)<<30
-	with := stepping.MustModel("w/ OPM", base, kernel, minFP, maxFP, 120)
-	without := stepping.MustModel("w/o OPM", noOPM, kernel, minFP, maxFP, 120)
+	with := curve("w/ OPM", base, kernel, minFP, maxFP, 120)
+	without := curve("w/o OPM", noOPM, kernel, minFP, maxFP, 120)
 
 	fmt.Println(plot.Lines("Stepping model: throughput vs footprint",
 		[]plot.Series{toSeries(without), toSeries(with)}, 72, 16, true))
@@ -51,9 +64,9 @@ func main() {
 	}
 
 	fmt.Println("\nHardware what-ifs (Fig 30):")
-	cap2 := stepping.MustModel("2x capacity",
+	cap2 := curve("2x capacity",
 		stepping.ScaleCapacity(base, "OPM", 2), kernel, minFP, maxFP, 120)
-	bw2 := stepping.MustModel("2x bandwidth",
+	bw2 := curve("2x bandwidth",
 		stepping.ScaleBandwidth(base, "OPM", 2), kernel, minFP, maxFP, 120)
 	fmt.Println(plot.Lines("capacity vs bandwidth scaling",
 		[]plot.Series{toSeries(with), toSeries(cap2), toSeries(bw2)}, 72, 14, true))

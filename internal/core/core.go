@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/faultinject"
 	"repro/internal/memsim"
 	"repro/internal/platform"
 	"repro/internal/sweep"
@@ -94,6 +93,32 @@ func (m *Machine) Config() memsim.Config { return m.cfg }
 // Label returns "platform/mode" for reports.
 func (m *Machine) Label() string { return m.Plat.Name + "/" + m.Mode.String() }
 
+// KernelProps builds the timing-model properties for a named kernel
+// and operation count from the machine's tuning table — the hook
+// analytic estimators (internal/twin) share with the exact path.
+func (m *Machine) KernelProps(name string, flops float64) (memsim.KernelProps, error) {
+	return m.props(name, flops)
+}
+
+// WorkloadProps is KernelProps for one workload, including the
+// dependency-parallelism thread clamp (SpTRSV's level schedule).
+func (m *Machine) WorkloadProps(w trace.Workload) (memsim.KernelProps, error) {
+	props, err := m.props(w.Name(), w.Flops())
+	if err != nil {
+		return memsim.KernelProps{}, err
+	}
+	if pl, ok := w.(parallelismLimited); ok {
+		avg := pl.AvgParallelism()
+		if avg < 1 {
+			avg = 1
+		}
+		if t := int(math.Ceil(avg)); t < props.Threads {
+			props.Threads = t
+		}
+	}
+	return props, nil
+}
+
 // props builds the timing-model kernel properties for a workload.
 func (m *Machine) props(name string, flops float64) (memsim.KernelProps, error) {
 	t, ok := m.tuning[name]
@@ -141,18 +166,9 @@ func (m *Machine) RunOn(sim *memsim.Sim, w trace.Workload) (memsim.Result, error
 	}
 	sim.Reset()
 	w.Simulate(sim)
-	props, err := m.props(w.Name(), w.Flops())
+	props, err := m.WorkloadProps(w)
 	if err != nil {
 		return memsim.Result{}, err
-	}
-	if pl, ok := w.(parallelismLimited); ok {
-		avg := pl.AvgParallelism()
-		if avg < 1 {
-			avg = 1
-		}
-		if t := int(math.Ceil(avg)); t < props.Threads {
-			props.Threads = t
-		}
 	}
 	return memsim.Evaluate(&m.cfg, sim.Traffic(), props)
 }
@@ -259,10 +275,7 @@ func RunBatch(ctx context.Context, eng *sweep.Engine, jobs []Job) ([]memsim.Resu
 // result gate (RunCell): invariant violations quarantine the result
 // instead of committing it.
 func RunBatchCached(ctx context.Context, eng *sweep.Engine, jobs []Job, cache sweep.Cache[Job, memsim.Result]) ([]memsim.Result, error) {
-	return sweep.MapCached(ctx, eng, jobs, cache, func(ctx context.Context, w *sweep.Worker, j Job) (memsim.Result, error) {
-		key := CellKey(j.Machine, j.Workload.Name(), j.Workload.Flops())
-		return j.Machine.RunCell(ctx, eng, w, j.Workload, key)
-	})
+	return RunBatchWith(ctx, eng, jobs, cache, Exact)
 }
 
 // RunDenseBatch executes analytic dense-model jobs on the sweep engine
@@ -273,21 +286,7 @@ func RunDenseBatch(ctx context.Context, eng *sweep.Engine, jobs []DenseJob) ([]m
 
 // RunDenseBatchCached is RunDenseBatch with a persistent-store hook;
 // a nil cache reproduces RunDenseBatch exactly. Results pass through
-// the analytic half of the result gate (GateDense) before committing.
+// the analytic half of the result gate (GateResult) before committing.
 func RunDenseBatchCached(ctx context.Context, eng *sweep.Engine, jobs []DenseJob, cache sweep.Cache[DenseJob, memsim.Result]) ([]memsim.Result, error) {
-	var inj *faultinject.Injector
-	if eng != nil {
-		inj = eng.Inject
-	}
-	return sweep.MapCached(ctx, eng, jobs, cache, func(ctx context.Context, _ *sweep.Worker, j DenseJob) (memsim.Result, error) {
-		r, err := j.Machine.RunDense(j.Kind, j.N, j.NB)
-		if err != nil {
-			return memsim.Result{}, fmt.Errorf("core: %s n=%d nb=%d on %s: %w", j.Kind, j.N, j.NB, j.Machine.Label(), err)
-		}
-		key := fmt.Sprintf("%s|n=%d|nb=%d|%s", j.Kind, j.N, j.NB, j.Machine.Label())
-		if gerr := GateResult(ctx, inj, key, &r); gerr != nil {
-			return memsim.Result{}, gerr
-		}
-		return r, nil
-	})
+	return RunDenseBatchWith(ctx, eng, jobs, cache, Exact)
 }

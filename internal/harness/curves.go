@@ -96,7 +96,7 @@ func runCurves(ctx context.Context, platName, kernel string, opt Options) ([]cur
 				GBs:    map[memsim.Mode]float64{},
 			}
 			for _, mach := range machines {
-				r, err := mach.RunCell(ctx, eng, w, wl, fmt.Sprintf("%s|fp=%d|%s", kernel, fp, mach.Label()))
+				r, err := opt.estimator().EstimateCell(ctx, eng, w, mach, wl, fmt.Sprintf("%s|fp=%d|%s", kernel, fp, mach.Label()))
 				if err != nil {
 					return curvePoint{}, fmt.Errorf("%s at %d MB on %s: %w", kernel, fp>>20, mach.Label(), err)
 				}

@@ -76,7 +76,7 @@ func denseHeatmapRunner(platName, kernel string) func(context.Context, Options) 
 		opt.logger().Debug("dense sweep starting", "platform", platName, "kernel", kernel,
 			"cells", len(jobs))
 		sp := opt.Obs.StartSpan("dense/" + platName + "/" + kernel + "/sweep")
-		results, err := core.RunDenseBatchCached(ctx, opt.engine(), jobs, denseCache(opt))
+		results, err := core.RunDenseBatchWith(ctx, opt.engine(), jobs, denseCache(opt), opt.estimator())
 		sp.End()
 		if err != nil {
 			// Dense cells fail only for systematic reasons (bad grid or

@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/twin"
+)
+
+// TestExactEstimatorByteIdentical is the refactor's ground rule: the
+// exact estimator threaded through Options is the same computation as
+// the pre-interface path. A bare run, a cold store-backed run under an
+// explicit core.Exact, and a warm run under the default (nil)
+// estimator must all render the same bytes — and the warm run must hit
+// every digest the explicit-estimator run committed, proving exact
+// kept the historical store layout.
+func TestExactEstimatorByteIdentical(t *testing.T) {
+	e, _ := Get("fig9")
+	jobs := len(suite(platform.Broadwell(), tiny))
+
+	bare, err := e.Run(context.Background(), tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	coldReg := obs.NewRegistry()
+	opt := tiny
+	opt.Estimator = core.Exact
+	opt.Store = mustOpen(t, dir, coldReg)
+	cold, err := e.Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if snap := coldReg.Snapshot(); snap.Counters["store/commits"] != int64(jobs) {
+		t.Fatalf("cold exact run committed %d jobs, want %d", snap.Counters["store/commits"], jobs)
+	}
+
+	warmReg := obs.NewRegistry()
+	opt = tiny // default estimator: nil resolves to core.Exact
+	opt.Store = mustOpen(t, dir, warmReg)
+	warm, err := e.Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := warmReg.Snapshot()
+	if snap.Counters["store/hits"] != int64(jobs) {
+		t.Fatalf("default-estimator warm run: %d hits, want %d (exact digests must not move)",
+			snap.Counters["store/hits"], jobs)
+	}
+
+	if got, want := reportBytes(cold), reportBytes(bare); got != want {
+		t.Error("explicit-exact report differs from bare report")
+	}
+	if got, want := reportBytes(warm), reportBytes(bare); got != want {
+		t.Error("warm report differs from bare report")
+	}
+	if !reflect.DeepEqual(cold.CSV, bare.CSV) || !reflect.DeepEqual(warm.CSV, bare.CSV) {
+		t.Error("CSV series differ between bare/cold/warm exact runs")
+	}
+}
+
+// TestTwinDigestSeparation: DESIGN.md §11's aliasing invariant. A
+// store populated by the exact estimator offers the twin nothing (zero
+// hits — its digests carry the twin model version and mode-prefixed
+// sweep ID), the twin's own commits land beside the exact entries
+// without overwriting them, and a second twin run is fully warm.
+func TestTwinDigestSeparation(t *testing.T) {
+	e, _ := Get("fig9")
+	jobs := len(suite(platform.Broadwell(), tiny))
+	dir := t.TempDir()
+
+	exactReg := obs.NewRegistry()
+	opt := tiny
+	opt.Store = mustOpen(t, dir, exactReg)
+	if _, err := e.Run(context.Background(), opt); err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	coldReg := obs.NewRegistry()
+	opt = tiny
+	opt.Estimator = twin.Estimator{}
+	opt.Store = mustOpen(t, dir, coldReg)
+	coldTwin, err := e.Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := coldReg.Snapshot()
+	if snap.Counters["store/hits"] != 0 {
+		t.Fatalf("twin run hit %d exact entries, want 0 (digest aliasing)", snap.Counters["store/hits"])
+	}
+	if snap.Counters["store/commits"] != int64(jobs) {
+		t.Fatalf("twin run committed %d jobs, want %d", snap.Counters["store/commits"], jobs)
+	}
+
+	// Exact entries survived the twin's commits.
+	if got, want := storeLen(t, dir), 2*jobs; got != want {
+		t.Fatalf("store holds %d entries after exact+twin runs, want %d", got, want)
+	}
+
+	warmReg := obs.NewRegistry()
+	opt = tiny
+	opt.Estimator = twin.Estimator{}
+	opt.Store = mustOpen(t, dir, warmReg)
+	warmTwin, err := e.Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap = warmReg.Snapshot()
+	if snap.Counters["store/hits"] != int64(jobs) {
+		t.Fatalf("second twin run: %d hits, want %d", snap.Counters["store/hits"], jobs)
+	}
+
+	if got, want := reportBytes(warmTwin), reportBytes(coldTwin); got != want {
+		t.Error("warm twin report differs from cold twin report")
+	}
+}
+
+// TestAutoEscalationDeterministic: the auto policy is a pure function
+// of (family, bounds, tolerance). Under a tolerance no family meets,
+// every cell escalates and the report is byte-identical to exact;
+// under the default tolerance, repeated runs are byte-identical to
+// each other and the twin actually serves.
+func TestAutoEscalationDeterministic(t *testing.T) {
+	e, _ := Get("fig9")
+
+	bare, err := e.Run(context.Background(), tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tight, err := twin.Select("auto", 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tightReg := obs.NewRegistry()
+	opt := tiny
+	opt.Estimator = tight
+	opt.Obs = tightReg
+	escalated, err := e.Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tightReg.Snapshot()
+	if snap.Counters["twin/escalations"] == 0 || snap.Counters["twin/serves"] != 0 {
+		t.Fatalf("tight tolerance: serves=%d escalations=%d, want 0/+",
+			snap.Counters["twin/serves"], snap.Counters["twin/escalations"])
+	}
+	if got, want := reportBytes(escalated), reportBytes(bare); got != want {
+		t.Error("fully-escalated auto report differs from exact report")
+	}
+
+	loose, err := twin.Select("auto", 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	looseReg := obs.NewRegistry()
+	opt = tiny
+	opt.Estimator = loose
+	opt.Obs = looseReg
+	first, err := e.Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := looseReg.Snapshot(); snap.Counters["twin/serves"] == 0 {
+		t.Fatal("default tolerance never served the twin for SpMV (bound 0.025)")
+	}
+	second, err := e.Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := reportBytes(second), reportBytes(first); got != want {
+		t.Error("repeated auto runs differ — escalation decisions are not deterministic")
+	}
+	if !reflect.DeepEqual(second.CSV, first.CSV) {
+		t.Error("repeated auto runs produced different CSV series")
+	}
+}

@@ -84,7 +84,7 @@ func runExtSkylake(ctx context.Context, opt Options) (*Report, error) {
 				m   *core.Machine
 				out *float64
 			}{{mDDR, &t.DDR}, {mBrd, &t.Victim}, {mSky, &t.MemSide}} {
-				r, err := leg.m.RunCell(ctx, eng, sw, w, fmt.Sprintf("triad|fp=%d|%s", fp, leg.m.Label()))
+				r, err := opt.estimator().EstimateCell(ctx, eng, sw, leg.m, w, fmt.Sprintf("triad|fp=%d|%s", fp, leg.m.Label()))
 				if err != nil {
 					return arrangementGBs{}, fmt.Errorf("triad at %d MB on %s: %w", fp>>20, leg.m.Label(), err)
 				}
@@ -172,12 +172,12 @@ func runExtMultiuser(ctx context.Context, opt Options) (*Report, error) {
 			simFP := tc.plat.ScaledBytes(tc.fp)
 			solo := trace.NewStream(simFP)
 			key := fmt.Sprintf("tenancy|%s|fp=%d", m.Label(), tc.fp)
-			rSolo, err := m.RunCell(ctx, eng, w, solo, key+"|solo")
+			rSolo, err := opt.estimator().EstimateCell(ctx, eng, w, m, solo, key+"|solo")
 			if err != nil {
 				return tenancyGBs{}, err
 			}
 			co := trace.NewCoStream(simFP, simFP)
-			rCo, err := m.RunCell(ctx, eng, w, co, key+"|shared")
+			rCo, err := opt.estimator().EstimateCell(ctx, eng, w, m, co, key+"|shared")
 			if err != nil {
 				return tenancyGBs{}, err
 			}

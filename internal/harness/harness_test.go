@@ -216,12 +216,13 @@ func TestRepresentativeWorkloads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctx := context.Background()
 	for _, kernel := range kernelOrder {
-		run, err := representativeWorkload("broadwell", kernel)
+		run, err := representativeWorkload("broadwell", kernel, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", kernel, err)
 		}
-		r, err := run(base)
+		r, err := run(ctx, nil, nil, base, "test|"+kernel)
 		if err != nil {
 			t.Fatalf("%s: %v", kernel, err)
 		}

@@ -46,28 +46,24 @@ func powerRunner(platName string) func(context.Context, Options) (*Report, error
 		cache := cacheFor[string, powerPair](opt, "power",
 			machinesHash([]*core.Machine{base, opm}),
 			func(kernel string) string { return kernel })
-		pairs, err := sweep.MapCached(ctx, opt.engine(), kernelOrder, cache,
-			func(ctx context.Context, _ *sweep.Worker, kernel string) (powerPair, error) {
-				run, err := representativeWorkload(platName, kernel)
+		eng := opt.engine()
+		pairs, err := sweep.MapCached(ctx, eng, kernelOrder, cache,
+			func(ctx context.Context, w *sweep.Worker, kernel string) (powerPair, error) {
+				run, err := representativeWorkload(platName, kernel, opt.estimator())
 				if err != nil {
 					return powerPair{}, err
 				}
-				rb, err := run(base)
+				// The representative cells gate under the historical
+				// power|kernel|platform keys (inject, validate,
+				// quarantine), whichever estimator serves them.
+				key := "power|" + kernel + "|" + platName
+				rb, err := run(ctx, eng, w, base, key+"|base")
 				if err != nil {
 					return powerPair{}, fmt.Errorf("%s baseline: %w", kernel, err)
 				}
-				ro, err := run(opm)
+				ro, err := run(ctx, eng, w, opm, key+"|opm")
 				if err != nil {
 					return powerPair{}, fmt.Errorf("%s %s: %w", kernel, opm.Mode, err)
-				}
-				// The representative runs own their simulators, so the
-				// result-level gate applies (inject, validate, quarantine).
-				key := "power|" + kernel + "|" + platName
-				if err := core.GateResult(ctx, opt.Inject, key+"|base", &rb); err != nil {
-					return powerPair{}, err
-				}
-				if err := core.GateResult(ctx, opt.Inject, key+"|opm", &ro); err != nil {
-					return powerPair{}, err
 				}
 				return powerPair{Base: rb, OPM: ro}, nil
 			})

@@ -115,7 +115,7 @@ func runSparse(ctx context.Context, platName, kernel string, opt Options) ([]spa
 			for _, mach := range machines {
 				// Every mode's cell runs through the result gate: inject,
 				// validate, quarantine on violation.
-				r, err := mach.RunCell(ctx, eng, w, wl, spec.Name+"|"+mach.Label())
+				r, err := opt.estimator().EstimateCell(ctx, eng, w, mach, wl, spec.Name+"|"+mach.Label())
 				if err != nil {
 					return sparsePoint{}, fmt.Errorf("%s on %s: %w", spec.Name, mach.Label(), err)
 				}

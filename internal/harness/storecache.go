@@ -29,6 +29,7 @@ import (
 type storeCache[J, R any] struct {
 	st      *store.Store
 	force   bool
+	version string
 	sweepID string
 	cfgHash string
 	key     func(J) string
@@ -36,15 +37,28 @@ type storeCache[J, R any] struct {
 
 // cacheFor builds the sweep cache hook for one experiment sweep, or
 // nil (no memoization) when the options carry no store.
+//
+// Digest separation (DESIGN.md §11): the exact estimator keeps the
+// historical layout — version = core.ModelVersion, unprefixed sweepID —
+// so stores written before the estimator interface existed stay warm.
+// Any other estimator substitutes its own Version() and namespaces the
+// sweep family with its Mode(), so a twin- or auto-computed cell can
+// never alias an exact one, in either direction.
 func cacheFor[J, R any](opt Options, sweepID, cfgHash string, key func(J) string) sweep.Cache[J, R] {
 	if opt.Store == nil {
 		return nil
 	}
-	return &storeCache[J, R]{st: opt.Store, force: opt.Force, sweepID: sweepID, cfgHash: cfgHash, key: key}
+	version := core.ModelVersion
+	if est := opt.estimator(); est.Mode() != "exact" {
+		version = est.Version()
+		sweepID = est.Mode() + "/" + sweepID
+	}
+	return &storeCache[J, R]{st: opt.Store, force: opt.Force, version: version,
+		sweepID: sweepID, cfgHash: cfgHash, key: key}
 }
 
 func (c *storeCache[J, R]) digest(j J) string {
-	return store.Digest(core.ModelVersion, c.cfgHash, c.sweepID, c.key(j))
+	return store.Digest(c.version, c.cfgHash, c.sweepID, c.key(j))
 }
 
 // Lookup consults the store; under Force it reports a miss without

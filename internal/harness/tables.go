@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/memsim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // kernelOrder is the row order of Tables 4 and 5.
@@ -38,7 +39,7 @@ func kernelSeries(ctx context.Context, platName, kernel string, opt Options) (ma
 				}
 			}
 		}
-		results, err := core.RunDenseBatchCached(ctx, opt.engine(), jobs, denseCache(opt))
+		results, err := core.RunDenseBatchWith(ctx, opt.engine(), jobs, denseCache(opt), opt.estimator())
 		if err != nil {
 			return nil, nil, err
 		}
@@ -156,14 +157,21 @@ func runTable5(ctx context.Context, opt Options) (*Report, error) {
 	return rep, nil
 }
 
+// representativeRun evaluates the power figures' single mid-size input
+// on one machine: a cell in the OPM-relevant region, estimated by est
+// and gated under key (the chaos injection identity).
+type representativeRun func(ctx context.Context, eng *sweep.Engine, w *sweep.Worker, m *core.Machine, key string) (memsim.Result, error)
+
 // representativeWorkload builds the single input used for the power
 // figures: a mid-size instance sitting in the OPM-relevant region.
-func representativeWorkload(platName, kernel string) (func(m *core.Machine) (memsim.Result, error), error) {
-	base, _, plat, err := machineSet(platName)
+func representativeWorkload(platName, kernel string, est core.Estimator) (representativeRun, error) {
+	_, _, plat, err := machineSet(platName)
 	if err != nil {
 		return nil, err
 	}
-	_ = base
+	if est == nil {
+		est = core.Exact
+	}
 	switch kernel {
 	case "GEMM", "Cholesky":
 		kind, err := denseKind(kernel)
@@ -174,28 +182,32 @@ func representativeWorkload(platName, kernel string) (func(m *core.Machine) (mem
 		if plat.Name == "knl" {
 			n = 16384
 		}
-		return func(m *core.Machine) (memsim.Result, error) {
-			return m.RunDense(kind, n, 1024)
+		return func(ctx context.Context, eng *sweep.Engine, _ *sweep.Worker, m *core.Machine, key string) (memsim.Result, error) {
+			return est.EstimateDense(ctx, eng, core.DenseJob{Machine: m, Kind: kind, N: n, NB: 1024}, key)
 		}, nil
 	case "SpMV", "SpTRANS", "SpTRSV":
 		// A mid-size matrix inside the OPM effective region.
 		spec := suite(plat, Options{})[8]
 		mat := spec.Instantiate(plat.Scale)
-		w, err := sparseWorkload(kernel, mat)
+		wl, err := sparseWorkload(kernel, mat)
 		if err != nil {
 			return nil, err
 		}
-		return func(m *core.Machine) (memsim.Result, error) { return m.Run(w) }, nil
+		return func(ctx context.Context, eng *sweep.Engine, w *sweep.Worker, m *core.Machine, key string) (memsim.Result, error) {
+			return est.EstimateCell(ctx, eng, w, m, wl, key)
+		}, nil
 	case "Stream", "Stencil", "FFT":
 		fp := int64(96 << 20) // inside eDRAM region on Broadwell
 		if plat.Name == "knl" {
 			fp = 4 << 30 // inside MCDRAM on KNL
 		}
-		w, err := curveWorkload(kernel, plat.ScaledBytes(fp), plat.Scale)
+		wl, err := curveWorkload(kernel, plat.ScaledBytes(fp), plat.Scale)
 		if err != nil {
 			return nil, err
 		}
-		return func(m *core.Machine) (memsim.Result, error) { return m.Run(w) }, nil
+		return func(ctx context.Context, eng *sweep.Engine, w *sweep.Worker, m *core.Machine, key string) (memsim.Result, error) {
+			return est.EstimateCell(ctx, eng, w, m, wl, key)
+		}, nil
 	}
 	return nil, fmt.Errorf("harness: unknown kernel %q", kernel)
 }

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the calibration reductions of the analytic twin
+// (internal/twin/calib): mean absolute percentage error between the
+// exact simulator and the twin's prediction, and the Pearson
+// correlation of the two series. They are plain paired-series
+// statistics, kept here so calibration math is testable independently
+// of the estimators producing the series.
+
+// MAPE returns the mean absolute percentage error of predicted against
+// actual, as a fraction (0.07 = 7%): mean(|pred-actual| / |actual|).
+// Every actual value must be finite and non-zero; series must be
+// non-empty and of equal length.
+func MAPE(actual, pred []float64) (float64, error) {
+	if len(actual) != len(pred) || len(actual) == 0 {
+		return 0, fmt.Errorf("stats: MAPE needs equal non-empty series (%d vs %d)", len(actual), len(pred))
+	}
+	var sum float64
+	for i := range actual {
+		if !isFinite(actual[i]) || !isFinite(pred[i]) {
+			return 0, fmt.Errorf("stats: MAPE input not finite at %d (%g, %g)", i, actual[i], pred[i])
+		}
+		if actual[i] == 0 {
+			return 0, fmt.Errorf("stats: MAPE undefined for zero actual at %d", i)
+		}
+		sum += math.Abs(pred[i]-actual[i]) / math.Abs(actual[i])
+	}
+	return sum / float64(len(actual)), nil
+}
+
+// PearsonR returns the Pearson correlation coefficient of two paired
+// series. A constant series has zero variance and no defined
+// correlation, so it is rejected rather than returning NaN; inputs
+// must be finite, non-empty and of equal length (at least 2 points).
+func PearsonR(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, fmt.Errorf("stats: PearsonR needs equal series of >= 2 points (%d vs %d)", len(xs), len(ys))
+	}
+	var mx, my float64
+	for i := range xs {
+		if !isFinite(xs[i]) || !isFinite(ys[i]) {
+			return 0, fmt.Errorf("stats: PearsonR input not finite at %d (%g, %g)", i, xs[i], ys[i])
+		}
+		mx += xs[i]
+		my += ys[i]
+	}
+	n := float64(len(xs))
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("stats: PearsonR undefined for a constant series")
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	// Floating-point roundoff can push a perfectly correlated series a
+	// few ulps past ±1; clamp so callers can compare against ±1 exactly.
+	return math.Max(-1, math.Min(1, r)), nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

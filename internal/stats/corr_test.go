@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMAPETable(t *testing.T) {
+	cases := []struct {
+		name         string
+		actual, pred []float64
+		want         float64
+		wantErr      bool
+	}{
+		{name: "exact match", actual: []float64{1, 2, 4}, pred: []float64{1, 2, 4}, want: 0},
+		{name: "uniform 10% high", actual: []float64{10, 20, 40}, pred: []float64{11, 22, 44}, want: 0.1},
+		{name: "uniform 10% low", actual: []float64{10, 20}, pred: []float64{9, 18}, want: 0.1},
+		{name: "mixed", actual: []float64{100, 100}, pred: []float64{150, 50}, want: 0.5},
+		{name: "negative actuals use magnitude", actual: []float64{-10}, pred: []float64{-11}, want: 0.1},
+		{name: "empty", wantErr: true},
+		{name: "mismatched", actual: []float64{1, 2}, pred: []float64{1}, wantErr: true},
+		{name: "zero actual", actual: []float64{0}, pred: []float64{1}, wantErr: true},
+		{name: "NaN actual", actual: []float64{math.NaN()}, pred: []float64{1}, wantErr: true},
+		{name: "Inf pred", actual: []float64{1}, pred: []float64{math.Inf(1)}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := MAPE(tc.actual, tc.pred)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("MAPE(%v, %v) = %g, want error", tc.actual, tc.pred, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("MAPE(%v, %v): %v", tc.actual, tc.pred, err)
+			}
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("MAPE(%v, %v) = %g, want %g", tc.actual, tc.pred, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPearsonRTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		xs, ys  []float64
+		want    float64
+		wantErr bool
+	}{
+		{name: "perfect positive", xs: []float64{1, 2, 3, 4}, ys: []float64{10, 20, 30, 40}, want: 1},
+		{name: "perfect negative", xs: []float64{1, 2, 3}, ys: []float64{6, 4, 2}, want: -1},
+		{name: "affine shift preserves r", xs: []float64{1, 2, 3}, ys: []float64{101, 102, 103}, want: 1},
+		{name: "uncorrelated symmetric", xs: []float64{-1, 0, 1, 0}, ys: []float64{0, 1, 0, -1}, want: 0},
+		{name: "constant xs", xs: []float64{5, 5, 5}, ys: []float64{1, 2, 3}, wantErr: true},
+		{name: "constant ys", xs: []float64{1, 2, 3}, ys: []float64{7, 7, 7}, wantErr: true},
+		{name: "too short", xs: []float64{1}, ys: []float64{2}, wantErr: true},
+		{name: "empty", wantErr: true},
+		{name: "mismatched", xs: []float64{1, 2}, ys: []float64{1}, wantErr: true},
+		{name: "NaN input", xs: []float64{1, math.NaN()}, ys: []float64{1, 2}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := PearsonR(tc.xs, tc.ys)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("PearsonR(%v, %v) = %g, want error", tc.xs, tc.ys, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("PearsonR(%v, %v): %v", tc.xs, tc.ys, err)
+			}
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("PearsonR(%v, %v) = %g, want %g", tc.xs, tc.ys, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPearsonRProperties checks the invariants calibration relies on
+// over a deterministic pseudo-random family of series: r is symmetric,
+// bounded by [-1, 1], exactly ±1 for affine relations, and invariant
+// under positive affine rescaling of either argument.
+func TestPearsonRProperties(t *testing.T) {
+	// xorshift-style generator: deterministic, no global rand state.
+	seed := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return float64(seed%10000)/10000 - 0.5
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + trial%17
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = next() * 100
+			ys[i] = next() * 100
+		}
+		r, err := PearsonR(xs, ys)
+		if err != nil {
+			// A degenerate constant draw is legal for the generator;
+			// the error contract covers it.
+			continue
+		}
+		if r < -1 || r > 1 {
+			t.Fatalf("trial %d: r = %g outside [-1, 1]", trial, r)
+		}
+		rSwap, err := PearsonR(ys, xs)
+		if err != nil {
+			t.Fatalf("trial %d: symmetric call failed: %v", trial, err)
+		}
+		if math.Abs(r-rSwap) > 1e-12 {
+			t.Fatalf("trial %d: r not symmetric: %g vs %g", trial, r, rSwap)
+		}
+		// Affine y = 3x + 7 correlates exactly.
+		affine := make([]float64, n)
+		scaled := make([]float64, n)
+		for i := range xs {
+			affine[i] = 3*xs[i] + 7
+			scaled[i] = 0.25*ys[i] + 11
+		}
+		rAff, err := PearsonR(xs, affine)
+		if err != nil {
+			t.Fatalf("trial %d: affine call failed: %v", trial, err)
+		}
+		if math.Abs(rAff-1) > 1e-9 {
+			t.Fatalf("trial %d: affine relation gave r = %g, want 1", trial, rAff)
+		}
+		rScaled, err := PearsonR(xs, scaled)
+		if err != nil {
+			t.Fatalf("trial %d: rescaled call failed: %v", trial, err)
+		}
+		if math.Abs(r-rScaled) > 1e-9 {
+			t.Fatalf("trial %d: positive rescale changed r: %g vs %g", trial, r, rScaled)
+		}
+	}
+}
+
+// TestMAPEScaleInvariance: MAPE is invariant under uniform scaling of
+// both series — the property that makes per-family errors comparable
+// across kernels with very different absolute throughputs.
+func TestMAPEScaleInvariance(t *testing.T) {
+	actual := []float64{3, 17, 250, 9000}
+	pred := []float64{3.3, 15, 275, 8100}
+	base, err := MAPE(actual, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []float64{0.001, 42, 1e6} {
+		sa := make([]float64, len(actual))
+		sp := make([]float64, len(pred))
+		for i := range actual {
+			sa[i], sp[i] = k*actual[i], k*pred[i]
+		}
+		got, err := MAPE(sa, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-base) > 1e-12 {
+			t.Fatalf("scale %g changed MAPE: %g vs %g", k, got, base)
+		}
+	}
+}

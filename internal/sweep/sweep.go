@@ -152,8 +152,12 @@ func (w *Worker) ID() int { return w.id }
 
 // Get returns the pooled resource under key, building and caching it on
 // first use. Keys must be comparable; the pool is worker-local, so no
-// locking is involved.
+// locking is involved. A nil worker builds without pooling, so code
+// written against workers also runs standalone (calibration, tests).
 func (w *Worker) Get(key any, build func() (any, error)) (any, error) {
+	if w == nil {
+		return build()
+	}
 	if v, ok := w.pool[key]; ok {
 		return v, nil
 	}
@@ -167,7 +171,13 @@ func (w *Worker) Get(key any, build func() (any, error)) (any, error) {
 
 // Drop evicts a pooled resource, forcing the next Get to rebuild it —
 // used after a failure that may have left the resource inconsistent.
-func (w *Worker) Drop(key any) { delete(w.pool, key) }
+// No-op on a nil worker (which pools nothing).
+func (w *Worker) Drop(key any) {
+	if w == nil {
+		return
+	}
+	delete(w.pool, key)
+}
 
 // Map runs fn over every job on the engine's worker pool and returns
 // the results in submission order. A failed (or panicking) job

@@ -1,0 +1,83 @@
+package twin
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// benchMachines is the Broadwell baseline/eDRAM pair every sub-benchmark
+// sweeps.
+func benchMachines(b *testing.B) []*core.Machine {
+	b.Helper()
+	var machines []*core.Machine
+	for _, mode := range []memsim.Mode{memsim.ModeDDR, memsim.ModeEDRAM} {
+		m, err := core.NewMachine(platform.Broadwell(), mode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		machines = append(machines, m)
+	}
+	return machines
+}
+
+// BenchmarkTwinVsExact measures both estimators over the same sweep
+// slices: the dense (GEMM) grid and the trace-driven curve cells
+// (Stream, Stencil, FFT at an OPM-relevant footprint) on Broadwell.
+// The twin's whole reason to exist is this ratio — on the cells the
+// exact path must simulate access-by-access, the acceptance bar is a
+// >= 10x speedup.
+//
+//	go test ./internal/twin -bench TwinVsExact -benchtime 3x
+func BenchmarkTwinVsExact(b *testing.B) {
+	ctx := context.Background()
+	machines := benchMachines(b)
+
+	var jobs []core.DenseJob
+	for _, m := range machines {
+		for _, n := range []int{2048, 4096} {
+			for _, nb := range []int{256, 1024} {
+				jobs = append(jobs, core.DenseJob{Machine: m, Kind: trace.DenseGEMM, N: n, NB: nb})
+			}
+		}
+	}
+	fp := platform.Broadwell().ScaledBytes(96 << 20)
+	workloads := []trace.Workload{
+		trace.NewStream(fp),
+		trace.NewStencil(fp, platform.Broadwell().Scale),
+		trace.NewFFT(fp),
+	}
+
+	for _, tc := range []struct {
+		name string
+		est  core.Estimator
+	}{
+		{"exact", core.Exact},
+		{"twin", Estimator{}},
+	} {
+		b.Run(tc.name+"/dense", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, j := range jobs {
+					if _, err := tc.est.EstimateDense(ctx, nil, j, core.DenseCellKey(j)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(tc.name+"/curves", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, m := range machines {
+					for _, wl := range workloads {
+						if _, err := tc.est.EstimateCell(ctx, nil, nil, m, wl, wl.Name()+"|"+m.Label()); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		})
+	}
+}

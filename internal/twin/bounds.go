@@ -1,0 +1,23 @@
+package twin
+
+// DefaultBounds returns the per-family MAPE of the twin against the
+// exact simulator, measured by `make calib` on the quick grid and kept
+// in sync with scripts/calib-baseline.json (the CI gate compares a
+// fresh run against that file; re-baselining updates both). Families
+// are twin.Family keys; values are fractions (0.07 = 7%).
+//
+// The escalation policy treats these as the twin's trust boundary: a
+// family is served analytically only when its bound is within the
+// caller's -twin-max-err tolerance.
+func DefaultBounds() map[string]float64 {
+	return map[string]float64{
+		"stream":   0.054,
+		"stencil":  0.086,
+		"fft":      0.077,
+		"spmv":     0.025,
+		"sptrans":  0.098,
+		"sptrsv":   0.199,
+		"gemm":     0.006,
+		"cholesky": 0.017,
+	}
+}

@@ -1,0 +1,98 @@
+package calib
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// runOnce memoizes one small calibration run for all tests (Broadwell
+// only: two modes keep the grid cheap).
+var cached *Report
+
+func smallRun(t *testing.T) *Report {
+	t.Helper()
+	if cached != nil {
+		return cached
+	}
+	rep, err := Run(context.Background(), Options{
+		MaxPaperFootprint: 64 << 20,
+		Platforms:         []*platform.Platform{platform.Broadwell()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached = rep
+	return rep
+}
+
+// TestRunCoversAllFamilies: the grid produces every kernel family with
+// a defined MAPE and at least one cell.
+func TestRunCoversAllFamilies(t *testing.T) {
+	rep := smallRun(t)
+	want := map[string]bool{
+		"stream": false, "stencil": false, "fft": false,
+		"spmv": false, "sptrans": false, "sptrsv": false,
+		"gemm": false, "cholesky": false,
+	}
+	for _, f := range rep.Families {
+		if _, ok := want[f.Family]; !ok {
+			t.Errorf("unexpected family %q", f.Family)
+			continue
+		}
+		want[f.Family] = true
+		if f.Cells == 0 {
+			t.Errorf("family %q has no cells", f.Family)
+		}
+		if f.MAPE < 0 {
+			t.Errorf("family %q has negative MAPE %g", f.Family, f.MAPE)
+		}
+	}
+	for fam, seen := range want {
+		if !seen {
+			t.Errorf("family %q missing from report", fam)
+		}
+	}
+}
+
+// TestBaselineRoundTrip: Bounds survive the baseline file format.
+func TestBaselineRoundTrip(t *testing.T) {
+	rep := smallRun(t)
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := rep.WriteBaseline(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fam, mape := range rep.Bounds() {
+		if got := b[fam]; got != mape {
+			t.Errorf("family %q: baseline %g, want %g", fam, got, mape)
+		}
+	}
+}
+
+// TestCheckGates: a report passes against its own baseline, fails
+// against a tightened one, and fails when a family is untracked.
+func TestCheckGates(t *testing.T) {
+	rep := smallRun(t)
+	self := Baseline(rep.Bounds())
+	if err := rep.Check(self, 0.10); err != nil {
+		t.Fatalf("self-check failed: %v", err)
+	}
+	tight := Baseline{}
+	for fam := range self {
+		tight[fam] = -0.01 // limit becomes negative headroom + 0.005
+	}
+	if err := rep.Check(tight, 0); err == nil {
+		t.Fatal("tightened baseline should fail")
+	}
+	missing := Baseline(rep.Bounds())
+	delete(missing, "stream")
+	if err := rep.Check(missing, 0.10); err == nil {
+		t.Fatal("untracked family should fail")
+	}
+}

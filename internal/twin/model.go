@@ -1,0 +1,358 @@
+package twin
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/memsim"
+	"repro/internal/sparse"
+	"repro/internal/trace"
+)
+
+// This file is the twin's analytic traffic model: a reuse-distance
+// summary per kernel family plus the streaming-cliff capture chain
+// that turns it into per-source byte counts. The twin never replays an
+// access stream — it predicts what the per-access simulator would have
+// counted, then feeds the same memsim.Evaluate timing model, so its
+// results live in the same units and pass the same validation gate as
+// exact cells.
+
+// Family canonicalizes a kernel name ("SpMV", "Stream", ...) to the
+// calibration family key ("spmv", "stream", ...). Families are the
+// granularity at which the twin's error is calibrated and at which the
+// escalation policy decides twin-vs-exact.
+func Family(kernel string) string { return strings.ToLower(kernel) }
+
+// component is one analytically modelled demand stream of a kernel:
+// volume bytes arrive per measured pass, and the share a cache of
+// capacity C captures follows the streaming cliff over working set
+// wset — the same (2C−W)/W law internal/stepping uses, applied per
+// component instead of to a single monolithic footprint.
+type component struct {
+	volume float64 // demand bytes per measured pass (post-L1, line granular)
+	wset   float64 // working set governing the cliff for this stream
+	skipL1 bool    // scrambled access order: the filter cache never captures it
+}
+
+// denseReuse carries the tile-reuse law of the blocked dense kernels:
+// bytes crossing below a cache of capacity C are ≈ flops·8/b_r(C),
+// with the effective reuse block b_r set by the tile size and how many
+// tiles fit in C (cf. trace.DenseModel, independently simplified here).
+type denseReuse struct {
+	flops      float64
+	n, nb      float64
+	fp         float64
+	compulsory float64 // crossing when the footprint fits (0 once warmed)
+}
+
+// profile is the reuse-distance summary of one workload: either a set
+// of streaming components or a dense tile-reuse law, plus the dirty
+// fraction of memory-level traffic (writebacks).
+type profile struct {
+	components []component
+	dense      *denseReuse
+	writeFrac  float64
+}
+
+// missFrac is the streaming-cliff miss fraction of a cache of capacity
+// c over a cyclically re-swept working set w: everything hits below
+// capacity, hits decay linearly on (c, 2c), nothing survives past 2c.
+func missFrac(c, w float64) float64 {
+	if math.IsInf(w, 1) {
+		return 1 // compulsory stream: no capacity captures it
+	}
+	if w <= c {
+		return 0
+	}
+	captured := (2*c - w) / w
+	if captured < 0 {
+		captured = 0
+	}
+	return 1 - captured
+}
+
+// crossing returns the demand bytes crossing below a cache of capacity
+// c under this profile; isL1 marks the filter-cache level, which
+// skipL1 components always pass through.
+func (p *profile) crossing(c float64, isL1 bool) float64 {
+	if p.dense != nil {
+		return p.dense.crossing(c)
+	}
+	var sum float64
+	for _, comp := range p.components {
+		if isL1 && comp.skipL1 {
+			sum += comp.volume
+			continue
+		}
+		sum += comp.volume * missFrac(c, comp.wset)
+	}
+	return sum
+}
+
+// demand returns the total bytes entering the hierarchy (below L1).
+func (p *profile) demand() float64 { return p.crossing(0, false) }
+
+func (d *denseReuse) crossing(c float64) float64 {
+	if d.fp <= c {
+		return d.compulsory
+	}
+	// Effective reuse block: the tile size, capped by how large a
+	// 3-tile working set (24·b² bytes) the cache holds, floored at the
+	// register micro-kernel.
+	br := math.Min(d.nb, math.Sqrt(c/24))
+	br = math.Max(8, math.Min(br, d.n))
+	return d.flops*8/br + d.fp
+}
+
+// profileFor builds the reuse profile of one workload from the trace
+// generator's own problem parameters (matrix structure, grid shape,
+// tile size) — the reuse-distance analysis that replaces replaying its
+// access stream.
+func profileFor(wl trace.Workload) (profile, error) {
+	fp := float64(wl.FootprintBytes())
+	switch t := wl.(type) {
+	case *trace.Stream, *trace.CoStream:
+		// Triad: three arrays touched once per pass, one written.
+		// CoStream interleaves two triads — same law over the combined
+		// footprint, which is exactly how the tenants contend.
+		return profile{
+			components: []component{{volume: fp, wset: fp}},
+			writeFrac:  1.0 / 3,
+		}, nil
+	case *trace.Stencil:
+		// Three grids (prev, in, next) swept once; neighbour re-touches
+		// are L1/L2-resident at line granularity, so the post-L1 demand
+		// is the grids themselves.
+		return profile{
+			components: []component{{volume: fp, wset: fp}},
+			writeFrac:  1.0 / 3,
+		}, nil
+	case *trace.FFT:
+		// Three 1D passes (X, Y, Z), each reading and writing every
+		// complex element. The X pass is sequential (2 sweeps); the Y/Z
+		// passes stride across lines holding 4 complex values each, so
+		// when the array spills they refetch partially-used lines —
+		// calibrated at ~2.25 sweeps of excess per strided pass.
+		return profile{
+			components: []component{{volume: 11 * fp, wset: fp}},
+			writeFrac:  1.0 / 2,
+		}, nil
+	case *trace.SpMV:
+		return sparseProfile(fp, t.M, false), nil
+	case *trace.SpTRSV:
+		// Level-scheduled row order scrambles the access stream, so the
+		// filter cache never holds the active lines.
+		return sparseProfile(fp, t.L, true), nil
+	case *trace.SpTRANS:
+		// One-shot conversion measured cold: every footprint byte is a
+		// compulsory miss no capacity absorbs, plus the second ColIdx
+		// read and the scatter-round thrash when the per-column output
+		// cursors outgrow the cache (one line fill per nonzero).
+		cols, nnz := float64(t.M.Cols), float64(t.M.NNZ())
+		p := profile{
+			components: []component{
+				{volume: fp, wset: math.Inf(1)},     // compulsory, cold
+				{volume: 4 * nnz, wset: 4 * nnz},    // ColIdx re-read
+				{volume: 52 * nnz, wset: 64 * cols}, // scatter thrash excess
+			},
+			writeFrac: 1.0 / 2,
+		}
+		return p, nil
+	case *trace.GEMM:
+		return denseProfile(wl.Flops(), t.N, t.NB, fp, 0), nil
+	case *trace.Cholesky:
+		return denseProfile(wl.Flops(), t.N, t.NB, fp, 0), nil
+	}
+	return profile{}, fmt.Errorf("twin: no analytic profile for workload %q (%T)", wl.Name(), wl)
+}
+
+// sparseProfile is the shared SpMV/SpTRSV reuse summary: the matrix
+// (values + indices + row pointers) streams cyclically, the result
+// vector streams once, and the x-gather's working set is the sliding
+// column window the structure actually touches — the matrix bandwidth,
+// not the whole vector — so banded and stencil-like matrices gather
+// from cache even when x itself is large.
+func sparseProfile(fp float64, m *sparse.CSR, scrambled bool) profile {
+	rows, nnz := float64(m.Rows), float64(m.NNZ())
+	met := sparse.Measure(m)
+	matrix := fp - 8*rows // everything but the gathered vector streams
+	if matrix < 0 {
+		matrix = fp
+	}
+	window := 16*float64(met.Bandwidth) + 4096 // x[i-bw .. i+bw] plus line slop
+	if max := 8 * rows; window > max {
+		window = max
+	}
+	return profile{
+		components: []component{
+			{volume: matrix + 16*rows, wset: fp, skipL1: scrambled},
+			// Gathers: a line fill per nonzero when the window does not
+			// fit, halved for intra-row column locality.
+			{volume: 32 * nnz, wset: window, skipL1: scrambled},
+		},
+		writeFrac: (8 * rows) / fp,
+	}
+}
+
+// denseProfile builds the tile-reuse profile of GEMM/Cholesky.
+// compulsory is the crossing when the footprint fits: 0 for the warmed
+// trace cells, the footprint itself for paper-scale dense cells (no
+// warm-up pass precedes the analytic sweep).
+func denseProfile(flops float64, n, nb int, fp, compulsory float64) profile {
+	return profile{
+		dense: &denseReuse{
+			flops: flops, n: float64(n), nb: float64(min(nb, n)),
+			fp: fp, compulsory: compulsory,
+		},
+		// Tiled dense kernels re-write C/the trailing matrix: a modest
+		// dirty share of what reaches memory.
+		writeFrac: 1.0 / 4,
+	}
+}
+
+// Predict returns the twin's synthetic traffic for one workload under
+// a (scaled) simulator configuration — the analytic stand-in for
+// Simulate + Sim.Traffic().
+func Predict(cfg *memsim.Config, wl trace.Workload) (memsim.Traffic, error) {
+	p, err := profileFor(wl)
+	if err != nil {
+		return memsim.Traffic{}, err
+	}
+	return synthesize(cfg, wl.FootprintBytes(), &p)
+}
+
+// PredictDense returns the twin's synthetic traffic for one
+// paper-scale dense cell under an unscaled configuration.
+func PredictDense(cfg *memsim.Config, kind trace.DenseKind, n, nb int) (memsim.Traffic, error) {
+	if cfg.Scale != 1 {
+		return memsim.Traffic{}, fmt.Errorf("twin: dense prediction needs an unscaled config (got scale %d)", cfg.Scale)
+	}
+	if n <= 0 || nb <= 0 {
+		return memsim.Traffic{}, fmt.Errorf("twin: dense prediction needs positive n/nb, got %d/%d", n, nb)
+	}
+	model := trace.DenseModel{Kind: kind, N: n, NB: nb}
+	fp := model.FootprintBytes()
+	p := denseProfile(model.Flops(), n, nb, float64(fp), float64(fp))
+	return synthesize(cfg, fp, &p)
+}
+
+// synthesize turns a reuse profile into memsim.Traffic: the capture
+// chain assigns each cache level the bytes it serves, the residual is
+// routed to memory per the mode (mirroring the per-access simulator's
+// routing semantics), and writebacks are the profile's dirty fraction
+// of each memory-side flow. The produced traffic satisfies
+// memsim.Traffic.Validate by construction.
+func synthesize(cfg *memsim.Config, fp int64, p *profile) (memsim.Traffic, error) {
+	var tr memsim.Traffic
+	tr.FootprintBytes = fp
+
+	type lvl struct {
+		src memsim.Source
+		cap int64
+	}
+	var caches []lvl
+	if cfg.L1.Size > 0 {
+		// The filter cache matters: a working set resident in L1 is
+		// served without any bandwidth bound, exactly as the simulator
+		// counts it (L1 has no BW term in the timing model).
+		caches = append(caches, lvl{memsim.SrcL1, cfg.L1.Size})
+	}
+	caches = append(caches, lvl{memsim.SrcL2, cfg.L2.Size})
+	if cfg.L3.Size > 0 {
+		caches = append(caches, lvl{memsim.SrcL3, cfg.L3.Size})
+	}
+	switch cfg.Mode {
+	case memsim.ModeEDRAM, memsim.ModeEDRAMMemSide:
+		caches = append(caches, lvl{memsim.SrcEDRAM, cfg.EDRAM.Size})
+	case memsim.ModeCache:
+		caches = append(caches, lvl{memsim.SrcMCDRAM, cfg.MCDRAMBytes})
+	case memsim.ModeHybrid:
+		caches = append(caches, lvl{memsim.SrcMCDRAM, cfg.MCDRAMBytes / 2})
+	}
+
+	demand := p.demand()
+	if demand <= 0 {
+		return memsim.Traffic{}, fmt.Errorf("twin: profile has no demand traffic (footprint %d)", fp)
+	}
+	// missBelow[i] = bytes crossing the boundary below caches[i],
+	// clamped monotone: a deeper boundary never carries more traffic.
+	missBelow := make([]float64, len(caches))
+	prev := demand
+	for i, c := range caches {
+		b := p.crossing(float64(c.cap), c.src == memsim.SrcL1)
+		if b > prev {
+			b = prev
+		}
+		missBelow[i] = b
+		prev = b
+	}
+	// Level i serves what crossed into it minus what crossed past it.
+	in := demand
+	for i, c := range caches {
+		tr.Bytes[c.src] = uint64(math.Max(0, in-missBelow[i]))
+		in = missBelow[i]
+	}
+	memBytes := missBelow[len(caches)-1]
+
+	// Route the residual to memory, mode by mode (same semantics as
+	// the simulator and the dense analytic model).
+	switch cfg.Mode {
+	case memsim.ModeFlat:
+		if fp <= cfg.MCDRAMBytes {
+			tr.Bytes[memsim.SrcMCDRAM] += uint64(memBytes)
+		} else {
+			frac := float64(cfg.MCDRAMBytes) / float64(fp)
+			tr.Bytes[memsim.SrcMCDRAM] += uint64(memBytes * frac)
+			tr.Bytes[memsim.SrcDDR] += uint64(memBytes * (1 - frac))
+			tr.SplitFlat = true
+		}
+	case memsim.ModeCache:
+		// Every access below the last on-chip cache consulted the
+		// in-MCDRAM tags; misses install into the cache.
+		pre := demand
+		if len(caches) >= 2 {
+			pre = missBelow[len(caches)-2]
+		}
+		tr.MCTagLines = uint64(pre / 64)
+		tr.Bytes[memsim.SrcDDR] += uint64(memBytes)
+		tr.WBBytes[memsim.SrcMCDRAM] += uint64(memBytes)
+	case memsim.ModeHybrid:
+		pre := demand
+		if len(caches) >= 2 {
+			pre = missBelow[len(caches)-2]
+		}
+		half := cfg.MCDRAMBytes / 2
+		f := 1.0
+		if fp > half {
+			f = float64(half) / float64(fp)
+		}
+		flatBytes := pre * f
+		cachedServed := math.Max(0, (pre-memBytes)*(1-f))
+		// The chain already credited the cached half; rebuild the
+		// MCDRAM flow as flat-resident plus cache-served traffic.
+		tr.Bytes[memsim.SrcMCDRAM] = uint64(flatBytes + cachedServed)
+		tr.MCTagLines = uint64(pre * (1 - f) / 64)
+		tr.Bytes[memsim.SrcDDR] += uint64(memBytes * (1 - f))
+		tr.WBBytes[memsim.SrcMCDRAM] += uint64(memBytes * (1 - f))
+	case memsim.ModeEDRAMMemSide:
+		// The memory-side buffer fills on every DRAM access.
+		tr.Bytes[memsim.SrcDDR] += uint64(memBytes)
+		tr.WBBytes[memsim.SrcEDRAM] += uint64(memBytes)
+	default:
+		tr.Bytes[memsim.SrcDDR] += uint64(memBytes)
+	}
+
+	// Dirty evictions: the profile's write fraction of every
+	// memory-side demand flow returns as writeback traffic.
+	if p.writeFrac > 0 {
+		for _, s := range []memsim.Source{memsim.SrcEDRAM, memsim.SrcMCDRAM, memsim.SrcDDR} {
+			tr.WBBytes[s] += uint64(p.writeFrac * float64(tr.Bytes[s]))
+		}
+	}
+	for s := memsim.SrcL2; s <= memsim.SrcDDR; s++ {
+		tr.Lines[s] = tr.Bytes[s] / 64
+	}
+	tr.Accesses = uint64(demand / 8)
+	return tr, nil
+}

@@ -1,0 +1,245 @@
+package twin
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/platform"
+	"repro/internal/sparse"
+	"repro/internal/trace"
+)
+
+// testWorkloads builds one workload per kernel family at a footprint
+// that exercises the memory hierarchy of the given platform.
+func testWorkloads(t *testing.T, plat *platform.Platform) []trace.Workload {
+	t.Helper()
+	simFP := plat.ScaledBytes(96 << 20)
+	csr := sparse.Poisson3D(24)
+	trsv, err := trace.NewSpTRSV(csr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []trace.Workload{
+		trace.NewStream(simFP),
+		trace.NewCoStream(simFP/2, simFP/2),
+		trace.NewStencil(simFP, plat.Scale),
+		trace.NewFFT(simFP),
+		&trace.SpMV{M: csr},
+		&trace.SpTRANS{M: csr},
+		trsv,
+		&trace.GEMM{N: 384, NB: 96},
+		&trace.Cholesky{N: 384, NB: 96},
+	}
+}
+
+// TestPredictValidTraffic: every family's synthetic traffic satisfies
+// the simulator's own traffic invariants on every platform × mode.
+func TestPredictValidTraffic(t *testing.T) {
+	for _, plat := range platform.AllWithExtensions() {
+		machines, err := core.Machines(plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range machines {
+			cfg := m.Config()
+			for _, wl := range testWorkloads(t, plat) {
+				tr, err := Predict(&cfg, wl)
+				if err != nil {
+					t.Fatalf("%s %s: %v", m.Label(), wl.Name(), err)
+				}
+				if err := tr.Validate(); err != nil {
+					t.Errorf("%s %s: invalid traffic: %v", m.Label(), wl.Name(), err)
+				}
+			}
+		}
+	}
+}
+
+// TestEstimateCellFiniteAndGated: end-to-end twin estimates produce
+// finite, gate-clean results for every family × machine.
+func TestEstimateCellFiniteAndGated(t *testing.T) {
+	ctx := context.Background()
+	var est Estimator
+	for _, plat := range platform.All() {
+		machines, err := core.Machines(plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range machines {
+			for _, wl := range testWorkloads(t, plat) {
+				r, err := est.EstimateCell(ctx, nil, nil, m, wl, wl.Name()+"|"+m.Label())
+				if err != nil {
+					t.Fatalf("%s %s: %v", m.Label(), wl.Name(), err)
+				}
+				if r.GFlops <= 0 || math.IsNaN(r.GFlops) || math.IsInf(r.GFlops, 0) {
+					t.Errorf("%s %s: GFlops = %g", m.Label(), wl.Name(), r.GFlops)
+				}
+			}
+		}
+	}
+}
+
+// TestEstimateCellDeterministic: the twin is a pure function of the
+// cell — repeated estimates are identical.
+func TestEstimateCellDeterministic(t *testing.T) {
+	ctx := context.Background()
+	var est Estimator
+	m, err := core.NewMachine(platform.KNL(), memsim.ModeCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := trace.NewStream(platform.KNL().ScaledBytes(1 << 30))
+	a, err := est.EstimateCell(ctx, nil, nil, m, wl, "det")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		b, err := est.EstimateCell(ctx, nil, nil, m, wl, "det")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("estimate %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestTwinOrdersModes: on a memory-bound footprint the twin preserves
+// the paper's qualitative ordering — on-package memory beats DDR.
+func TestTwinOrdersModes(t *testing.T) {
+	ctx := context.Background()
+	var est Estimator
+	brd := platform.Broadwell()
+	wl := trace.NewStream(brd.ScaledBytes(96 << 20)) // past eDRAM, memory bound
+	gf := map[memsim.Mode]float64{}
+	for _, mode := range []memsim.Mode{memsim.ModeDDR, memsim.ModeEDRAM} {
+		m, err := core.NewMachine(brd, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := est.EstimateCell(ctx, nil, nil, m, wl, "order")
+		if err != nil {
+			t.Fatal(err)
+		}
+		gf[mode] = r.GFlops
+	}
+	if gf[memsim.ModeEDRAM] <= gf[memsim.ModeDDR] {
+		t.Fatalf("eDRAM %.2f should beat DDR %.2f on a memory-bound stream", gf[memsim.ModeEDRAM], gf[memsim.ModeDDR])
+	}
+}
+
+// TestPredictDenseRejectsScaledConfig: paper-scale dense prediction
+// must not silently run against a simulation-scale configuration.
+func TestPredictDenseRejectsScaledConfig(t *testing.T) {
+	m, err := core.NewMachine(platform.KNL(), memsim.ModeFlat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := m.Config() // scaled
+	if _, err := PredictDense(&cfg, trace.DenseGEMM, 4096, 256); err == nil {
+		t.Fatal("want error for scaled config")
+	}
+}
+
+// TestEscalatingDeterministicRouting: the auto policy's twin-or-exact
+// decision depends only on (family, bounds, tolerance) and matches the
+// component estimators' own results exactly.
+func TestEscalatingDeterministicRouting(t *testing.T) {
+	ctx := context.Background()
+	m, err := core.NewMachine(platform.Broadwell(), memsim.ModeEDRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := trace.NewStream(platform.Broadwell().ScaledBytes(32 << 20))
+	var tw Estimator
+	twinR, err := tw.EstimateCell(ctx, nil, nil, m, wl, "route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactR, err := core.Exact.EstimateCell(ctx, nil, nil, m, wl, "route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := map[string]float64{"stream": 0.05}
+	serve := NewEscalating(0.10, bounds) // 0.05 <= 0.10: twin serves
+	esc := NewEscalating(0.01, bounds)   // 0.05 > 0.01: escalate
+	for i := 0; i < 3; i++ {
+		r, err := serve.EstimateCell(ctx, nil, nil, m, wl, "route")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != twinR {
+			t.Fatalf("serving policy should return the twin's bytes")
+		}
+		r, err = esc.EstimateCell(ctx, nil, nil, m, wl, "route")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != exactR {
+			t.Fatalf("escalating policy should return the exact bytes")
+		}
+	}
+}
+
+// TestEscalatingUnknownFamilyEscalates: a family with no calibrated
+// bound must never be served analytically.
+func TestEscalatingUnknownFamilyEscalates(t *testing.T) {
+	e := NewEscalating(1.0, map[string]float64{"stream": 0.01})
+	if e.serveTwin("fft") {
+		t.Fatal("unbounded family must escalate")
+	}
+	if !e.serveTwin("stream") {
+		t.Fatal("bounded family within tolerance must serve")
+	}
+}
+
+// TestEscalatingVersionFoldsPolicy: the store identity changes with
+// tolerance and bounds, and is independent of map iteration order.
+func TestEscalatingVersionFoldsPolicy(t *testing.T) {
+	a := NewEscalating(0.10, map[string]float64{"stream": 0.05, "fft": 0.08})
+	b := NewEscalating(0.10, map[string]float64{"fft": 0.08, "stream": 0.05})
+	if a.Version() != b.Version() {
+		t.Fatalf("version depends on map order: %q vs %q", a.Version(), b.Version())
+	}
+	if a.Version() == NewEscalating(0.20, map[string]float64{"stream": 0.05, "fft": 0.08}).Version() {
+		t.Fatal("tolerance change must re-key the store")
+	}
+	if a.Version() == NewEscalating(0.10, map[string]float64{"stream": 0.04, "fft": 0.08}).Version() {
+		t.Fatal("bounds change must re-key the store")
+	}
+}
+
+// TestSelect: the flag-value factory.
+func TestSelect(t *testing.T) {
+	for _, tc := range []struct {
+		mode    string
+		maxErr  float64
+		want    string
+		wantErr bool
+	}{
+		{mode: "", want: "exact"},
+		{mode: "exact", want: "exact"},
+		{mode: "twin", want: "twin"},
+		{mode: "auto", maxErr: 0.1, want: "auto"},
+		{mode: "auto", maxErr: 0, wantErr: true},
+		{mode: "bogus", wantErr: true},
+	} {
+		est, err := Select(tc.mode, tc.maxErr)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("Select(%q, %g): want error", tc.mode, tc.maxErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Select(%q, %g): %v", tc.mode, tc.maxErr, err)
+			continue
+		}
+		if est.Mode() != tc.want {
+			t.Errorf("Select(%q, %g).Mode() = %q, want %q", tc.mode, tc.maxErr, est.Mode(), tc.want)
+		}
+	}
+}

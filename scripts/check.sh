@@ -31,6 +31,14 @@ else
 	echo "== staticcheck: not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"
 fi
 
+# Twin calibration gate: sweep the analytic twin and the exact
+# simulator over the quick paper grid and fail if any kernel family's
+# MAPE regressed past scripts/calib-baseline.json (10% relative slack
+# plus half a point absolute — see internal/twin/calib.Check). A
+# deliberate model change re-baselines with `make calib-baseline`.
+echo "== twin calibration (cmd/opmcalib -check)"
+go run ./cmd/opmcalib -check
+
 echo "== go test -race $pkgs"
 go test -race $pkgs
 
