@@ -1,6 +1,6 @@
 # Convenience targets; see scripts/check.sh for the full gate.
 
-.PHONY: build test lint lint-diff check calib calib-baseline chaos bench bench-obs bench-store bench-resilience bench-twin profile
+.PHONY: build test lint lint-diff check calib calib-baseline chaos bench bench-obs bench-store bench-resilience bench-twin bench-json bench-baseline bench-trace profile
 
 build:
 	go build ./...
@@ -59,6 +59,24 @@ bench-obs:
 # (every job answered from the journal, zero simulation).
 bench-store:
 	go test -bench=BenchmarkStoreWarmVsCold -benchtime=3x -run=^$$ .
+
+# Tracing overhead guard: nil tracer vs in-memory ring vs ring + JSONL
+# sink on the same sweep.
+bench-trace:
+	go test -bench=BenchmarkTraceOverhead -benchtime=3x -run=^$$ .
+
+# Perf trajectory: run the fixed benchmark roster (sweep, memsim, twin,
+# store, obs, trace) and write the sorted {benchmark: ns_per_op} map to
+# BENCH_sweep.json.
+bench-json:
+	scripts/bench-json.sh
+
+# Re-measure and overwrite the committed baseline the check gate
+# (scripts/bench-json.sh -check) compares against. Run after a
+# deliberate perf change and commit the diff.
+bench-baseline:
+	scripts/bench-json.sh
+	cp BENCH_sweep.json scripts/bench-baseline.json
 
 # Resilience overhead guard: the sweep's production path (nil policy,
 # nil injector) vs an armed-but-idle policy vs an empty injector.

@@ -78,6 +78,31 @@ func BenchmarkObsOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkTraceOverhead measures the causal event tracer on the same
+// sweep hot path as BenchmarkObsOverhead: "disabled" (nil tracer —
+// every Emit and context lookup is a branch-and-return), "ring"
+// (bounded in-memory ring recording every chain), and "jsonl" (ring
+// plus the append-only file sink opmbench -trace uses). The ring
+// variant should stay within a couple percent of disabled and the
+// disabled variant should be indistinguishable from no tracer at all;
+// the jobs are simulator-bound, so per-event lock-plus-copy is noise.
+func BenchmarkTraceOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		benchExperimentOpts(b, "fig9", harness.Options{Stride: 48})
+	})
+	b.Run("ring", func(b *testing.B) {
+		benchExperimentOpts(b, "fig9", harness.Options{Stride: 48, Trace: obs.NewTracer(0)})
+	})
+	b.Run("jsonl", func(b *testing.B) {
+		tr := obs.NewTracer(0)
+		if err := tr.SinkFile(b.TempDir() + "/trace.jsonl"); err != nil {
+			b.Fatal(err)
+		}
+		defer tr.Close()
+		benchExperimentOpts(b, "fig9", harness.Options{Stride: 48, Trace: tr})
+	})
+}
+
 // BenchmarkStoreWarmVsCold quantifies the persistent result store:
 // "cold" opens a fresh store per iteration, so every job simulates and
 // commits; "warm" runs the same sweep against a prepopulated store, so

@@ -24,6 +24,7 @@
 //	opmbench -exp all -estimator auto -twin-max-err 0.10  # twin where calibrated
 //	opmbench -exp all -strict           # dropped jobs fail the run
 //	opmbench -exp fig9 -metrics out.json       # manifest + registry dump
+//	opmbench -exp fig9 -trace run.jsonl        # per-job event chains (see opmprof)
 //	opmbench -exp fig9 -log-level debug        # structured logs on stderr
 //	opmbench -exp all -pprof localhost:6060    # live pprof/expvar/metrics
 //	opmbench -exp fig7 -cpuprofile cpu.out     # CPU profile of the run
@@ -80,6 +81,7 @@ func run() int {
 		force    = flag.Bool("force", false, "with -store: recompute every job, overwriting cached entries")
 
 		metrics    = flag.String("metrics", "", "write manifest + metrics registry as JSON to this file at exit")
+		traceFile  = flag.String("trace", "", "append every sweep job's causal event chain to this JSONL file (analyze with opmprof, export to Perfetto)")
 		logLevel   = flag.String("log-level", "", "structured logging on stderr at this level (debug|info|warn|error; off when empty)")
 		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text (needs -log-level)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof, expvar and live /metrics on this address (e.g. localhost:6060)")
@@ -188,6 +190,22 @@ func run() int {
 			}
 		}()
 	}
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer(0)
+		if err := tracer.SinkFile(*traceFile); err != nil {
+			fmt.Fprintln(os.Stderr, "opmbench:", err)
+			return 2
+		}
+		defer func() {
+			emitted := tracer.Emitted()
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "opmbench: trace sink:", err)
+			}
+			fmt.Fprintf(os.Stderr, "opmbench: trace: %d events -> %s (opmprof -trace %s)\n",
+				emitted, *traceFile, *traceFile)
+		}()
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -200,7 +218,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "opmbench: %v\n", err)
 		return 2
 	}
-	opt := harness.Options{Full: *full, OutDir: *out, Workers: *workers, Obs: reg, Log: logger, Force: *force, Estimator: est}
+	opt := harness.Options{Full: *full, OutDir: *out, Workers: *workers, Obs: reg, Log: logger, Force: *force, Estimator: est, Trace: tracer}
 	if *retries > 0 || *jobTimeout > 0 || *breaker > 0 {
 		opt.Resilience = &resilience.Policy{
 			MaxAttempts:      *retries + 1,

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/memsim"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 	"repro/internal/trace"
 )
@@ -63,12 +64,14 @@ func (ExactEstimator) Version() string { return ModelVersion }
 // EstimateCell runs the gated simulation path: pooled simulator,
 // simulate + evaluate, result-corruption injection, invariant gate.
 func (ExactEstimator) EstimateCell(ctx context.Context, eng *sweep.Engine, w *sweep.Worker, m *Machine, wl trace.Workload, key string) (memsim.Result, error) {
+	obs.TraceEvent(ctx, obs.EvEstimator, "exact")
 	return m.RunCell(ctx, eng, w, wl, key)
 }
 
 // EstimateDense evaluates the analytic dense model and applies the
 // result-level gate.
 func (ExactEstimator) EstimateDense(ctx context.Context, eng *sweep.Engine, j DenseJob, key string) (memsim.Result, error) {
+	obs.TraceEvent(ctx, obs.EvEstimator, "exact")
 	var inj *faultinject.Injector
 	if eng != nil {
 		inj = eng.Inject

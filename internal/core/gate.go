@@ -66,11 +66,14 @@ func (m *Machine) RunCell(ctx context.Context, eng *sweep.Engine, w *sweep.Worke
 		// A failed simulator invariant means the pooled state itself is
 		// suspect: evict it so the retry rebuilds cold.
 		w.Drop(m.cfg)
+		obs.TraceEvent(ctx, obs.EvGate, "quarantine")
 		return memsim.Result{}, resilience.Quarantine(key, verr)
 	}
 	if verr := r.Validate(); verr != nil {
+		obs.TraceEvent(ctx, obs.EvGate, "quarantine")
 		return memsim.Result{}, resilience.Quarantine(key, verr)
 	}
+	obs.TraceEvent(ctx, obs.EvGate, "ok")
 	sim.RecordMetrics(reg)
 	return r, nil
 }
@@ -81,7 +84,9 @@ func (m *Machine) RunCell(ctx context.Context, eng *sweep.Engine, w *sweep.Worke
 func GateResult(ctx context.Context, inj *faultinject.Injector, key string, r *memsim.Result) error {
 	InjectResult(ctx, inj, key, r)
 	if verr := r.Validate(); verr != nil {
+		obs.TraceEvent(ctx, obs.EvGate, "quarantine")
 		return resilience.Quarantine(key, verr)
 	}
+	obs.TraceEvent(ctx, obs.EvGate, "ok")
 	return nil
 }

@@ -217,6 +217,7 @@ func (in *Injector) Job(ctx context.Context, key string) error {
 		return nil
 	}
 	r.fired.Inc()
+	obs.TraceEvent(ctx, obs.EvFault, PointJob+":"+r.kind.String())
 	switch r.kind {
 	case KindTransient:
 		return resilience.MarkTransient(fmt.Errorf("faultinject: injected transient fault (job %s)", key))
@@ -245,6 +246,7 @@ func (in *Injector) Result(ctx context.Context, key string) bool {
 	r, ok := in.pick(PointResult, key, resilience.Attempt(ctx))
 	if ok {
 		r.fired.Inc()
+		obs.TraceEvent(ctx, obs.EvFault, PointResult+":"+r.kind.String())
 	}
 	return ok
 }

@@ -79,7 +79,7 @@ func runCurves(ctx context.Context, platName, kernel string, opt Options) ([]cur
 		machinesHash(machines, plat.Scale),
 		func(fp int64) string { return fmt.Sprint(fp) })
 	eng := opt.engine()
-	sp := opt.Obs.StartSpan("curves/" + platName + "/" + kernel + "/sweep")
+	sp := opt.Obs.StartSpan("curves/" + platName + "/" + kernel + "/sweep") //opmlint:allow counternames — platform and kernel come from the closed registry roster; the curves/<plat>/<kernel> namespace is enumerable
 	defer sp.End()
 	pts, err := sweep.MapCached(ctx, eng, fps, cache,
 		func(ctx context.Context, w *sweep.Worker, fp int64) (curvePoint, error) {

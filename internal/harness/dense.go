@@ -75,7 +75,7 @@ func denseHeatmapRunner(platName, kernel string) func(context.Context, Options) 
 		}
 		opt.logger().Debug("dense sweep starting", "platform", platName, "kernel", kernel,
 			"cells", len(jobs))
-		sp := opt.Obs.StartSpan("dense/" + platName + "/" + kernel + "/sweep")
+		sp := opt.Obs.StartSpan("dense/" + platName + "/" + kernel + "/sweep") //opmlint:allow counternames — platform and kernel come from the closed registry roster; the dense/<plat>/<kernel> namespace is enumerable
 		results, err := core.RunDenseBatchWith(ctx, opt.engine(), jobs, denseCache(opt), opt.estimator())
 		sp.End()
 		if err != nil {
@@ -85,7 +85,7 @@ func denseHeatmapRunner(platName, kernel string) func(context.Context, Options) 
 		}
 
 		rep := &Report{CSV: map[string][]string{}}
-		render := opt.Obs.StartSpan("dense/" + platName + "/" + kernel + "/render")
+		render := opt.Obs.StartSpan("dense/" + platName + "/" + kernel + "/render") //opmlint:allow counternames — platform and kernel come from the closed registry roster; the dense/<plat>/<kernel> namespace is enumerable
 		defer render.End()
 		var b strings.Builder
 		idx := 0

@@ -82,6 +82,14 @@ type Options struct {
 	// estimators (twin, auto) are stored under their own digests and
 	// never alias exact results (DESIGN.md §11).
 	Estimator core.Estimator
+	// Trace, when non-nil, records every sweep job's causal event chain
+	// (enqueue → dispatch → attempts/retries/faults → estimator/gate →
+	// store → done) into the tracer's ring and optional JSONL sink
+	// (opmbench -trace, analyzed by cmd/opmprof). Store-backed runs
+	// derive trace IDs from the store's content digests, so traces of
+	// different runs join on the same cells. Like Obs, tracing never
+	// alters report bytes (DESIGN.md §12).
+	Trace *obs.Tracer
 }
 
 // estimator returns the options' estimator, defaulting to the exact
@@ -96,7 +104,7 @@ func (o Options) estimator() core.Estimator {
 // engine builds the sweep engine the option set describes.
 func (o Options) engine() *sweep.Engine {
 	return &sweep.Engine{Workers: o.Workers, Progress: o.Progress, Obs: o.Obs,
-		Policy: o.Resilience, Inject: o.Inject}
+		Policy: o.Resilience, Inject: o.Inject, Trace: o.Trace}
 }
 
 // logger returns the options' logger, or a drop-everything logger so
@@ -187,7 +195,7 @@ func instrument(id string, run func(context.Context, Options) (*Report, error)) 
 		log := opt.logger()
 		log.Debug("experiment starting", "id", id, "workers", opt.Workers, "full", opt.Full)
 		start := time.Now()
-		sp := opt.Obs.StartSpan("exp/" + id)
+		sp := opt.Obs.StartSpan("exp/" + id) //opmlint:allow counternames — id comes from the closed experiment registry (Registry/extensionExperiments); the exp/<id> namespace is enumerable via -list
 		rep, err := run(ctx, opt)
 		sp.End()
 		elapsed := time.Since(start)

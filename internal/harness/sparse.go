@@ -87,7 +87,7 @@ func runSparse(ctx context.Context, platName, kernel string, opt Options) ([]spa
 		machinesHash(machines, plat.Scale),
 		func(s sparse.Spec) string { return s.Name })
 	eng := opt.engine()
-	sp := opt.Obs.StartSpan("sparse/" + platName + "/" + kernel + "/sweep")
+	sp := opt.Obs.StartSpan("sparse/" + platName + "/" + kernel + "/sweep") //opmlint:allow counternames — platform and kernel come from the closed registry roster; the sparse/<plat>/<kernel> namespace is enumerable
 	results, runErr := sweep.MapCached(ctx, eng, specs, cache,
 		func(ctx context.Context, w *sweep.Worker, spec sparse.Spec) (sparsePoint, error) {
 			if sparseJobHook != nil {
@@ -150,7 +150,7 @@ func sparseRunner(platName, kernel string) func(context.Context, Options) (*Repo
 		}
 		rep := &Report{CSV: map[string][]string{}}
 		sweepWarning(rep, errs)
-		render := opt.Obs.StartSpan("sparse/" + platName + "/" + kernel + "/render")
+		render := opt.Obs.StartSpan("sparse/" + platName + "/" + kernel + "/render") //opmlint:allow counternames — platform and kernel come from the closed registry roster; the sparse/<plat>/<kernel> namespace is enumerable
 		defer render.End()
 		var b strings.Builder
 

@@ -85,6 +85,16 @@ func (c *storeCache[J, R]) Commit(j J, r R) {
 	_ = c.st.Put(c.digest(j), c.sweepID, c.key(j), r)
 }
 
+// TraceInfo derives the job's trace identity from the same content
+// digest that addresses its cached result (sweep.TraceKeyer): the run
+// that computes a cell and every later run that serves it warm emit
+// their chains under one trace ID, so traces join against cached
+// results across runs. The human key is the job's sweep key prefixed
+// with the sweep family.
+func (c *storeCache[J, R]) TraceInfo(j J) (id, key string) {
+	return obs.TraceID("store", c.digest(j)), c.sweepID + "/" + c.key(j)
+}
+
 // machinesHash fingerprints the simulator configurations of a machine
 // set (plus any extra scalars the jobs consume directly, e.g. the
 // platform scale a matrix instantiation uses).

@@ -1,6 +1,10 @@
 package counternames
 
-import "repro/internal/obs"
+import (
+	"context"
+
+	"repro/internal/obs"
+)
 
 // Record publishes under a dynamically assembled name: the chaos
 // gate's greps and the dashboards can never enumerate it.
@@ -16,4 +20,24 @@ func BadName(reg *obs.Registry) {
 // DynamicHistogram builds a histogram name at run time.
 func DynamicHistogram(reg *obs.Registry, phase string) {
 	reg.Histogram(phase + "_latency").Observe(0)
+}
+
+// DynamicSpan builds a span name at run time.
+func DynamicSpan(reg *obs.Registry, phase string) {
+	reg.StartSpan("run/" + phase).End()
+}
+
+// BadChild nests a sub-span whose name violates the charset.
+func BadChild(reg *obs.Registry) {
+	reg.StartSpan("run/total").Child("Render Phase").End()
+}
+
+// DynamicEvent emits a trace event under a run-time name.
+func DynamicEvent(ctx context.Context, kind string) {
+	obs.TraceEvent(ctx, "job/"+kind, "")
+}
+
+// BadEmit records an event whose name violates the charset.
+func BadEmit(tr *obs.Tracer) {
+	tr.Emit("id", "Job-Done!", "key", -1, 0, "")
 }

@@ -6,3 +6,8 @@ import "repro/internal/obs"
 func PerLevel(reg *obs.Registry, level string) {
 	reg.Counter("cache/" + level + "/evictions").Inc() //opmlint:allow counternames — level names come from the fixed, validated config set
 }
+
+// PhaseSpan times one pipeline phase; the name set is closed.
+func PhaseSpan(reg *obs.Registry, phase string) {
+	reg.StartSpan("phase/" + phase).End() //opmlint:allow counternames — phase names come from the fixed pipeline stage list
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"expvar"
 	"fmt"
 	"net"
@@ -12,15 +13,26 @@ import (
 // MetricsHandler serves the registry (plus manifest, may both be nil)
 // as the same JSON document -metrics writes, so a long sweep can be
 // inspected live with curl while it runs.
+//
+// The snapshot renders into a buffer first: a marshal failure can then
+// still become a proper 500, and a failed response write — a client
+// hanging up mid-scrape, not a server bug — is counted on
+// obs/http_write_errors instead of being silently discarded or
+// uselessly http.Error'd after the headers already went out.
 func MetricsHandler(r *Registry, manifest func() *Manifest) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
 		var m *Manifest
 		if manifest != nil {
 			m = manifest()
 		}
-		if err := r.WriteJSON(w, m); err != nil {
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf, m); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			r.Counter("obs/http_write_errors").Inc()
 		}
 	})
 }
@@ -42,7 +54,8 @@ func PublishExpvar(r *Registry) {
 
 // Serve starts a debug HTTP server on addr exposing net/http/pprof
 // (/debug/pprof/), expvar (/debug/vars, including the registry under
-// "opm"), and the live registry dump (/metrics). It returns the server
+// "opm"), the live registry dump (/metrics), and the Prometheus
+// text-exposition rendering (/metrics/prom). It returns the server
 // and its bound address (useful with ":0") and never blocks; Close the
 // server to stop it. The handlers are mounted on a private mux so
 // importing this package does not pollute http.DefaultServeMux.
@@ -60,6 +73,7 @@ func Serve(addr string, r *Registry, manifest func() *Manifest) (*http.Server, n
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/metrics", MetricsHandler(r, manifest))
+	mux.Handle("/metrics/prom", PromHandler(r))
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return srv, ln.Addr(), nil

@@ -1,0 +1,121 @@
+package obs
+
+// Prometheus text-exposition rendering of the registry — the scrape
+// seam the planned opmserve daemon grows from (ROADMAP item 1). The
+// mapping from the registry's slash-separated names to Prometheus
+// metric names is mechanical and lossless enough to grep back:
+// "sweep/job_latency" → "opm_sweep_job_latency". Histograms render as
+// summaries (quantiles are precomputed from the pow2 buckets, not
+// client-aggregatable histograms — the registry's buckets are
+// process-local and fixed, so the summary form is the honest one) and
+// spans as a pair of totals labelled by path. Output is sorted by
+// metric name, so a finished run renders deterministically.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// promName converts a registry instrument name to a Prometheus metric
+// name: "opm_" prefix, '/' → '_'. Registry names already match
+// [a-z0-9_/]+ (enforced by opmlint counternames), so the result is a
+// valid Prometheus identifier.
+func promName(name string) string {
+	return "opm_" + strings.ReplaceAll(name, "/", "_")
+}
+
+// promEscape escapes a label value per the exposition format
+// (backslash, double quote, newline).
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// WriteProm renders the registry in Prometheus text exposition format
+// 0.0.4: counters as counters (with the conventional _total suffix),
+// gauges as gauges, histograms as summaries with p50/p95/p99 quantile
+// series in seconds, and span aggregates as two path-labelled counter
+// families. Safe on a nil registry (writes nothing).
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	var b strings.Builder
+
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mn := promName(name) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", mn, mn, s.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", mn, mn, s.Gauges[name])
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		mn := promName(name) + "_seconds"
+		fmt.Fprintf(&b, "# TYPE %s summary\n", mn)
+		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %g\n", mn, float64(h.P50NS)/1e9)
+		fmt.Fprintf(&b, "%s{quantile=\"0.95\"} %g\n", mn, float64(h.P95NS)/1e9)
+		fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %g\n", mn, float64(h.P99NS)/1e9)
+		fmt.Fprintf(&b, "%s_sum %g\n", mn, float64(h.SumNS)/1e9)
+		fmt.Fprintf(&b, "%s_count %d\n", mn, h.Count)
+	}
+
+	if len(s.Spans) > 0 {
+		paths := make([]string, 0, len(s.Spans))
+		for path := range s.Spans {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		b.WriteString("# TYPE opm_span_seconds_total counter\n")
+		for _, path := range paths {
+			fmt.Fprintf(&b, "opm_span_seconds_total{path=\"%s\"} %g\n",
+				promEscape(path), float64(s.Spans[path].TotalNS)/1e9)
+		}
+		b.WriteString("# TYPE opm_span_invocations_total counter\n")
+		for _, path := range paths {
+			fmt.Fprintf(&b, "opm_span_invocations_total{path=\"%s\"} %d\n",
+				promEscape(path), s.Spans[path].Count)
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// PromHandler serves the registry in Prometheus exposition format —
+// mounted at /metrics/prom by Serve, scrapeable with a plain
+// static_config target.
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WriteProm(w); err != nil {
+			// Headers are gone by the time a body write fails; count it
+			// rather than pretend http.Error could still reach the client.
+			r.Counter("obs/http_write_errors").Inc()
+		}
+	})
+}

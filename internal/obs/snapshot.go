@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 )
 
 // BucketSnapshot is one non-empty histogram bucket. LeNS is the
@@ -16,13 +17,75 @@ type BucketSnapshot struct {
 }
 
 // HistogramSnapshot is the point-in-time state of one histogram.
+// P50NS/P95NS/P99NS are quantile estimates interpolated from the
+// power-of-two buckets (see Quantile) — good to roughly a factor of
+// two inside a bucket, which is what pow2 buckets buy.
 type HistogramSnapshot struct {
 	Count   int64            `json:"count"`
 	SumNS   int64            `json:"sum_ns"`
 	MinNS   int64            `json:"min_ns"`
 	MaxNS   int64            `json:"max_ns"`
 	MeanNS  int64            `json:"mean_ns"`
+	P50NS   int64            `json:"p50_ns,omitempty"`
+	P95NS   int64            `json:"p95_ns,omitempty"`
+	P99NS   int64            `json:"p99_ns,omitempty"`
 	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-th quantile (0 < q < 1) in nanoseconds by
+// linear interpolation inside the pow2 bucket holding the target rank:
+// the bucket spanning (le/2, le] is treated as uniform, the catch-all
+// as spanning (largest finite bound, MaxNS]. Estimates clamp to the
+// observed [MinNS, MaxNS]; q <= 0 returns MinNS, q >= 1 MaxNS, and an
+// empty snapshot 0.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.MinNS
+	}
+	if q >= 1 {
+		return s.MaxNS
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for _, b := range s.Buckets {
+		next := cum + float64(b.Count)
+		if next >= target {
+			lo, hi := bucketRangeNS(b.LeNS, s.MaxNS)
+			frac := (target - cum) / float64(b.Count)
+			est := int64(float64(lo) + frac*float64(hi-lo))
+			if est < s.MinNS {
+				est = s.MinNS
+			}
+			if est > s.MaxNS {
+				est = s.MaxNS
+			}
+			return est
+		}
+		cum = next
+	}
+	return s.MaxNS
+}
+
+// bucketRangeNS maps a bucket's inclusive upper bound (le, in ns; -1
+// for the catch-all) to the (lo, hi] interpolation range. Buckets are
+// pow2 from 1µs, so a finite bucket's lower bound is half its upper,
+// except bucket 0 which starts at 0.
+func bucketRangeNS(le, maxNS int64) (lo, hi int64) {
+	if le < 0 {
+		lo = int64(BucketBound(numBuckets - 2))
+		hi = maxNS
+		if hi < lo {
+			hi = lo
+		}
+		return lo, hi
+	}
+	if le > int64(time.Microsecond) {
+		return le / 2, le
+	}
+	return 0, le
 }
 
 // Snapshot is a consistent-enough point-in-time dump of a registry:
@@ -95,6 +158,11 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		if n := h.counts[i].Load(); n > 0 {
 			s.Buckets = append(s.Buckets, BucketSnapshot{LeNS: int64(BucketBound(i)), Count: n})
 		}
+	}
+	if s.Count > 0 {
+		s.P50NS = s.Quantile(0.50)
+		s.P95NS = s.Quantile(0.95)
+		s.P99NS = s.Quantile(0.99)
 	}
 	return s
 }

@@ -1,0 +1,361 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTracerNilIsOff pins the off switch: every tracer method and the
+// context helpers must be safe no-ops on a nil tracer, and a context
+// with no trace bound must make TraceEvent free of side effects.
+func TestTracerNilIsOff(t *testing.T) {
+	var tr *Tracer
+	tr.Emit("t", EvDone, "j", 0, 0, "")
+	tr.SinkTo(&bytes.Buffer{})
+	if err := tr.SinkFile(""); err == nil {
+		t.Fatal("SinkFile on nil tracer must error, not silently drop the sink")
+	}
+	if got := tr.Events(); got != nil {
+		t.Fatalf("nil tracer Events = %v, want nil", got)
+	}
+	if tr.Emitted() != 0 || tr.Dropped() != 0 || tr.NextSweep() != 0 {
+		t.Fatal("nil tracer counters not zero")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithTraceContext(context.Background(), nil, "id", "job", 0)
+	if ctx != context.Background() {
+		t.Fatal("WithTraceContext with nil tracer must return ctx unchanged")
+	}
+	TraceEvent(ctx, EvDone, "") // must not panic
+}
+
+// TestTracerRingOrderAndOverflow checks the bounded ring: events come
+// back oldest-first with gapless 1-based Seq, and once full the ring
+// overwrites the oldest event while Dropped and Emitted keep the true
+// totals.
+func TestTracerRingOrderAndOverflow(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit("t", EvAttempt, "j", 0, 0, "")
+	}
+	if got := tr.Emitted(); got != 10 {
+		t.Fatalf("Emitted = %d, want 10", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("event %d Seq = %d, want %d (oldest-first)", i, ev.Seq, want)
+		}
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TSNS < evs[i-1].TSNS {
+			t.Fatalf("timestamps ran backwards: %d then %d", evs[i-1].TSNS, evs[i].TSNS)
+		}
+	}
+}
+
+// TestTracerSinkRoundTrip writes a chain through the JSONL sink and
+// reads it back: every field survives, and the in-memory ring and the
+// sink agree.
+func TestTracerSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(16)
+	tr.SinkTo(&buf)
+	tr.Emit("abc", EvEnqueue, "mat/a", -1, 0, "")
+	tr.Emit("abc", EvDispatch, "mat/a", 2, 0, "")
+	tr.Emit("abc", EvRetry, "mat/a", 2, 50*time.Microsecond, "transient")
+	tr.Emit("abc", EvDone, "mat/a", 2, time.Millisecond, "")
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Events()
+	if len(got) != len(want) {
+		t.Fatalf("sink replayed %d events, ring holds %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d diverged:\nsink %+v\nring %+v", i, got[i], want[i])
+		}
+	}
+	if got[2].DurNS != int64(50*time.Microsecond) || got[2].Detail != "transient" {
+		t.Fatalf("retry event lost payload: %+v", got[2])
+	}
+}
+
+// TestReadTraceRejectsMalformed pins the line-numbered decode error.
+func TestReadTraceRejectsMalformed(t *testing.T) {
+	in := `{"seq":1,"ts_ns":1,"trace":"a","name":"job/enqueue","worker":-1}
+
+not json
+`
+	_, err := ReadTrace(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("malformed line 3 not reported: %v", err)
+	}
+}
+
+// TestTraceIDStable pins the trace-ID derivation: stable across calls,
+// 16 hex digits, and length-prefixed so part boundaries matter.
+func TestTraceIDStable(t *testing.T) {
+	a := TraceID("store", "deadbeef")
+	if a != TraceID("store", "deadbeef") {
+		t.Fatal("TraceID not deterministic")
+	}
+	if len(a) != 16 {
+		t.Fatalf("TraceID length = %d, want 16 hex digits", len(a))
+	}
+	if a == TraceID("stored", "eadbeef") {
+		t.Fatal("TraceID collides across shifted part boundaries")
+	}
+	if TraceID("sweep", "1", "job", "2") == TraceID("sweep", "1", "job", "3") {
+		t.Fatal("distinct jobs share a trace ID")
+	}
+}
+
+// TestTraceContextPlumbing checks the ambient-context path end to end:
+// an event emitted through TraceEventDur lands in the ring carrying the
+// bound identity.
+func TestTraceContextPlumbing(t *testing.T) {
+	tr := NewTracer(8)
+	ctx := WithTraceContext(context.Background(), tr, "id1", "matrix/x", 3)
+	TraceEvent(ctx, EvEstimator, "twin")
+	TraceEventDur(ctx, EvStoreCommit, 2*time.Millisecond, "")
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("emitted %d events, want 2", len(evs))
+	}
+	if evs[0].Trace != "id1" || evs[0].Job != "matrix/x" || evs[0].Worker != 3 ||
+		evs[0].Name != EvEstimator || evs[0].Detail != "twin" {
+		t.Fatalf("context identity lost: %+v", evs[0])
+	}
+	if evs[1].DurNS != int64(2*time.Millisecond) {
+		t.Fatalf("duration lost: %+v", evs[1])
+	}
+}
+
+// TestHistogramQuantiles checks the pow2-bucket quantile estimates
+// against a known distribution: estimates must land within their
+// sample's bucket and clamp to the observed min/max.
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test/lat")
+	// 100 samples at 1ms, 10 at 100ms: p50 ≈ 1ms bucket, p99 ≈ 100ms.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	s := r.Snapshot().Histograms["test/lat"]
+	if s.P50NS <= 0 || s.P50NS > int64(2*time.Millisecond) {
+		t.Fatalf("p50 = %v, want within the 1ms bucket", time.Duration(s.P50NS))
+	}
+	if s.P99NS < int64(50*time.Millisecond) || s.P99NS > s.MaxNS {
+		t.Fatalf("p99 = %v, want within the 100ms bucket and <= max", time.Duration(s.P99NS))
+	}
+	if s.P50NS > s.P95NS || s.P95NS > s.P99NS {
+		t.Fatalf("quantiles not monotone: p50=%d p95=%d p99=%d", s.P50NS, s.P95NS, s.P99NS)
+	}
+	if got := s.Quantile(0); got != s.MinNS {
+		t.Fatalf("Quantile(0) = %d, want MinNS %d", got, s.MinNS)
+	}
+	if got := s.Quantile(1); got != s.MaxNS {
+		t.Fatalf("Quantile(1) = %d, want MaxNS %d", got, s.MaxNS)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram Quantile = %d, want 0", got)
+	}
+}
+
+// TestWriteProm checks the exposition rendering: nil-safe, counters
+// get _total, histograms render as summaries with the three quantile
+// series, spans as path-labelled totals, and label values escape.
+func TestWriteProm(t *testing.T) {
+	var nilReg *Registry
+	var buf bytes.Buffer
+	if err := nilReg.WriteProm(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q, err %v", buf.String(), err)
+	}
+
+	r := NewRegistry()
+	r.Counter("sweep/jobs").Add(7)
+	r.Gauge("sweep/workers").Set(4)
+	r.Histogram("sweep/job_latency").Observe(time.Millisecond)
+	sp := r.StartSpan("exp/fig9")
+	sp.End()
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE opm_sweep_jobs_total counter\nopm_sweep_jobs_total 7\n",
+		"# TYPE opm_sweep_workers gauge\nopm_sweep_workers 4\n",
+		"# TYPE opm_sweep_job_latency_seconds summary\n",
+		`opm_sweep_job_latency_seconds{quantile="0.5"}`,
+		`opm_sweep_job_latency_seconds{quantile="0.95"}`,
+		`opm_sweep_job_latency_seconds{quantile="0.99"}`,
+		"opm_sweep_job_latency_seconds_count 1\n",
+		`opm_span_seconds_total{path="exp/fig9"}`,
+		`opm_span_invocations_total{path="exp/fig9"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be "name{labels} value" with a parseable value.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Fatalf("line %q value %q not numeric: %v", line, line[i+1:], err)
+		}
+	}
+	if promEscape("a\"b\\c\nd") != `a\"b\\c\nd` {
+		t.Fatalf("promEscape wrong: %q", promEscape("a\"b\\c\nd"))
+	}
+}
+
+// TestAnalyzeTrace builds a synthetic two-job trace — one clean job,
+// one with a retry, a fault, a store commit and an escalation — and
+// checks the reconstructed chains, phase attribution, critical path
+// and top-k ordering.
+func TestAnalyzeTrace(t *testing.T) {
+	evs := []Event{
+		{Seq: 1, TSNS: 0, Trace: "a", Name: EvEnqueue, Job: "ja", Worker: -1},
+		{Seq: 2, TSNS: 10, Trace: "b", Name: EvEnqueue, Job: "jb", Worker: -1},
+		{Seq: 3, TSNS: 100, Trace: "a", Name: EvDispatch, Job: "ja", Worker: 0},
+		{Seq: 4, TSNS: 110, Trace: "b", Name: EvDispatch, Job: "jb", Worker: 1},
+		{Seq: 5, TSNS: 120, Trace: "a", Name: EvAttempt, Job: "ja", Worker: 0, Detail: "1"},
+		{Seq: 6, TSNS: 130, Trace: "b", Name: EvAttempt, Job: "jb", Worker: 1, Detail: "1"},
+		{Seq: 7, TSNS: 140, Trace: "b", Name: EvFault, Job: "jb", Worker: 1, Detail: "job:transient"},
+		{Seq: 8, TSNS: 150, Trace: "b", Name: EvRetry, Job: "jb", Worker: 1, DurNS: 200, Detail: "boom"},
+		{Seq: 9, TSNS: 360, Trace: "b", Name: EvAttempt, Job: "jb", Worker: 1, Detail: "2"},
+		{Seq: 10, TSNS: 400, Trace: "a", Name: EvEstimator, Job: "ja", Worker: 0, Detail: "twin"},
+		{Seq: 11, TSNS: 420, Trace: "b", Name: EvEscalate, Job: "jb", Worker: 1, Detail: "sptrsv"},
+		{Seq: 12, TSNS: 500, Trace: "a", Name: EvDone, Job: "ja", Worker: 0, DurNS: 400},
+		{Seq: 13, TSNS: 600, Trace: "b", Name: EvStoreCommit, Job: "jb", Worker: 1, DurNS: 50},
+		{Seq: 14, TSNS: 700, Trace: "b", Name: EvDone, Job: "jb", Worker: 1, DurNS: 590},
+	}
+	p := AnalyzeTrace(evs)
+	if p.Jobs != 2 || p.Failures != 0 || p.Hits != 0 {
+		t.Fatalf("jobs=%d failures=%d hits=%d, want 2/0/0", p.Jobs, p.Failures, p.Hits)
+	}
+	if p.MakespanNS != 700 {
+		t.Fatalf("makespan = %d, want 700", p.MakespanNS)
+	}
+	a, b := p.Chains[0], p.Chains[1]
+	if a.Trace != "a" || b.Trace != "b" {
+		t.Fatalf("chains out of first-event order: %s, %s", a.Trace, b.Trace)
+	}
+	if a.QueueNS != 100 || b.QueueNS != 100 {
+		t.Fatalf("queue attribution: a=%d b=%d, want 100/100", a.QueueNS, b.QueueNS)
+	}
+	if a.ComputeNS != 400 {
+		t.Fatalf("clean job compute = %d, want its 400ns busy time", a.ComputeNS)
+	}
+	if b.Retries != 1 || b.BackoffNS != 200 || b.Faults != 1 || b.Escalations != 1 {
+		t.Fatalf("faulted chain: %+v", b)
+	}
+	if b.StoreNS != 50 || b.ComputeNS != 590-200-50 {
+		t.Fatalf("faulted compute = %d store = %d, want 340/50", b.ComputeNS, b.StoreNS)
+	}
+	if crit := p.CriticalPath(); crit.Trace != "b" {
+		t.Fatalf("critical path = %s, want b (last to finish)", crit.Trace)
+	}
+	if top := p.TopSlowest(1); len(top) != 1 || top[0].Trace != "b" {
+		t.Fatalf("TopSlowest(1) = %v", top)
+	}
+	phases := p.PhaseBreakdown()
+	if phases[0].Label != "queue" || phases[0].NS != 200 ||
+		phases[3].Label != "retry-backoff" || phases[3].NS != 200 {
+		t.Fatalf("phase breakdown: %+v", phases)
+	}
+}
+
+// TestAnalyzeTraceReoccurrence checks the warm/cold join: the same
+// trace ID enqueued twice (recompute then cache hit) yields two
+// occurrences, the second flagged as a hit at worker -1.
+func TestAnalyzeTraceReoccurrence(t *testing.T) {
+	evs := []Event{
+		{Seq: 1, TSNS: 0, Trace: "x", Name: EvEnqueue, Job: "j", Worker: -1},
+		{Seq: 2, TSNS: 10, Trace: "x", Name: EvDispatch, Job: "j", Worker: 0},
+		{Seq: 3, TSNS: 50, Trace: "x", Name: EvDone, Job: "j", Worker: 0, DurNS: 40},
+		{Seq: 4, TSNS: 100, Trace: "x", Name: EvEnqueue, Job: "j", Worker: -1},
+		{Seq: 5, TSNS: 110, Trace: "x", Name: EvStoreHit, Job: "j", Worker: -1, DurNS: 5},
+		{Seq: 6, TSNS: 115, Trace: "x", Name: EvDone, Job: "j", Worker: -1, Detail: "cache_hit"},
+	}
+	p := AnalyzeTrace(evs)
+	if p.Jobs != 2 || p.Hits != 1 {
+		t.Fatalf("jobs=%d hits=%d, want 2 occurrences with 1 hit", p.Jobs, p.Hits)
+	}
+	if !p.Chains[1].CacheHit || p.Chains[1].Worker != -1 {
+		t.Fatalf("second occurrence not a worker -1 hit: %+v", p.Chains[1])
+	}
+	if p.Chains[0].CacheHit {
+		t.Fatal("cold occurrence marked as hit")
+	}
+}
+
+// TestWriteChromeTrace checks the Perfetto export shape: a valid JSON
+// object with one X slice per chain, thread-name metadata, and instant
+// events for intermediate chain steps.
+func TestWriteChromeTrace(t *testing.T) {
+	evs := []Event{
+		{Seq: 1, TSNS: 0, Trace: "a", Name: EvEnqueue, Job: "ja", Worker: -1},
+		{Seq: 2, TSNS: 1000, Trace: "a", Name: EvDispatch, Job: "ja", Worker: 0},
+		{Seq: 3, TSNS: 2000, Trace: "a", Name: EvEstimator, Job: "ja", Worker: 0, Detail: "exact"},
+		{Seq: 4, TSNS: 5000, Trace: "a", Name: EvDone, Job: "ja", Worker: 0, DurNS: 4000},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var slices, instants, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			slices++
+			if ev["dur"] == nil {
+				t.Fatalf("X slice without dur: %v", ev)
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		}
+	}
+	if slices != 1 || instants != 1 || meta == 0 {
+		t.Fatalf("slices=%d instants=%d meta=%d, want 1 slice, 1 instant (estimator), metadata", slices, instants, meta)
+	}
+}

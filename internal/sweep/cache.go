@@ -1,6 +1,12 @@
 package sweep
 
-import "context"
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
 
 // Cache is the engine's lookup/commit hook for memoized sweeps. A
 // cached job bypasses the worker pool entirely — it never occupies a
@@ -23,6 +29,18 @@ type Cache[J, R any] interface {
 	Commit(job J, r R)
 }
 
+// TraceKeyer is the optional Cache extension that gives traced jobs
+// their content-derived identity: TraceInfo returns the stable trace
+// ID (derived from the same digest that addresses the job's cached
+// result) and the human job key. When a traced MapCached's cache
+// implements it, the run that computes a cell and every later run that
+// serves it warm emit chains under the same trace ID — traces join
+// against cached results across runs. Caches that don't implement it
+// fall back to per-run sweep-sequence IDs.
+type TraceKeyer[J any] interface {
+	TraceInfo(job J) (id, key string)
+}
+
 // MapCached is Map with memoization: jobs that hit the cache are
 // resolved up front and only the misses are dispatched to the worker
 // pool; each miss is committed to the cache as it completes. Results
@@ -33,16 +51,62 @@ type Cache[J, R any] interface {
 // Progress reports (and the ETA) cover the executed jobs but Done and
 // Total include the cache hits, so a resumed 968-job sweep with 900
 // hits reports 901/968, 902/968, ... rather than restarting at 1/68.
+//
+// With e.Trace set, every job's chain opens with an enqueue here (in
+// submission order) followed by its lookup verdict: hits emit
+// store/hit and close immediately with a cache_hit done event (worker
+// -1 — no worker ever touched them); misses emit store/miss, flow
+// through Map under their digest-derived IDs, and emit store/commit as
+// they checkpoint.
+//
+//opmlint:allow determinism — lookup/commit wall-clock feeds only trace events; results depend solely on the cache contents and fn, which the warm==cold equivalence tests pin byte-for-byte
 func MapCached[J, R any](ctx context.Context, e *Engine, jobs []J, cache Cache[J, R], fn func(ctx context.Context, w *Worker, job J) (R, error)) ([]R, error) {
 	if cache == nil {
 		return Map(ctx, e, jobs, fn)
 	}
+	var tr *obs.Tracer
+	if e != nil {
+		tr = e.Trace
+	}
+	// Resolve every job's trace identity before any lookup: from the
+	// cache's content digests when it offers them, else from the same
+	// per-tracer sweep sequence Map would use.
+	var traceIDs, traceKeys []string
+	if tr != nil {
+		traceIDs = make([]string, len(jobs))
+		traceKeys = make([]string, len(jobs))
+		if tk, ok := cache.(TraceKeyer[J]); ok {
+			for i, job := range jobs {
+				traceIDs[i], traceKeys[i] = tk.TraceInfo(job)
+			}
+		} else {
+			sweepN := strconv.FormatUint(tr.NextSweep(), 10)
+			for i := range jobs {
+				idx := strconv.Itoa(i)
+				traceIDs[i] = obs.TraceID("sweep", sweepN, "job", idx)
+				traceKeys[i] = idx
+			}
+		}
+	}
 	results := make([]R, len(jobs))
 	missIdx := make([]int, 0, len(jobs))
 	for i, job := range jobs {
+		var t0 time.Time
+		if tr != nil {
+			tr.Emit(traceIDs[i], obs.EvEnqueue, traceKeys[i], -1, 0, "")
+			t0 = time.Now()
+		}
 		if r, ok := cache.Lookup(job); ok {
 			results[i] = r
+			if tr != nil {
+				d := time.Since(t0)
+				tr.Emit(traceIDs[i], obs.EvStoreHit, traceKeys[i], -1, d, "")
+				tr.Emit(traceIDs[i], obs.EvDone, traceKeys[i], -1, d, "cache_hit")
+			}
 		} else {
+			if tr != nil {
+				tr.Emit(traceIDs[i], obs.EvStoreMiss, traceKeys[i], -1, time.Since(t0), "")
+			}
 			missIdx = append(missIdx, i)
 		}
 	}
@@ -61,6 +125,13 @@ func MapCached[J, R any](ctx context.Context, e *Engine, jobs []J, cache Cache[J
 	if e != nil {
 		sub = *e
 	}
+	if tr != nil {
+		// The misses keep their already-announced identities; Map must
+		// not re-enqueue them under fresh sweep-sequence IDs.
+		sub.traceMeta = func(k int) (string, string) {
+			return traceIDs[missIdx[k]], traceKeys[missIdx[k]]
+		}
+	}
 	if prog := sub.Progress; prog != nil && hits > 0 {
 		sub.Progress = func(p Progress) {
 			p.Done += hits
@@ -71,7 +142,13 @@ func MapCached[J, R any](ctx context.Context, e *Engine, jobs []J, cache Cache[J
 	missRes, err := Map(ctx, &sub, miss, func(ctx context.Context, w *Worker, job J) (R, error) {
 		r, ferr := fn(ctx, w, job)
 		if ferr == nil {
-			cache.Commit(job, r)
+			if tr != nil {
+				c0 := time.Now()
+				cache.Commit(job, r)
+				obs.TraceEventDur(ctx, obs.EvStoreCommit, time.Since(c0), "")
+			} else {
+				cache.Commit(job, r)
+			}
 		}
 		return r, ferr
 	})

@@ -47,6 +47,7 @@ func runJobResilient[J, R any](ctx context.Context, pol *resilience.Policy, inj 
 	var zero R
 	if !br.Allow() {
 		ri.shorted.Inc()
+		obs.TraceEvent(ctx, obs.EvBreakerOpen, "short_circuit")
 		return zero, resilience.ErrBreakerOpen
 	}
 	// The job key feeds the injector's fire decision and the backoff
@@ -56,6 +57,7 @@ func runJobResilient[J, R any](ctx context.Context, pol *resilience.Policy, inj 
 	timeout := pol.Timeout()
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
+		obs.TraceEvent(ctx, obs.EvAttempt, strconv.Itoa(attempt+1))
 		actx := resilience.WithAttempt(ctx, attempt)
 		cancel := context.CancelFunc(func() {})
 		if timeout > 0 {
@@ -92,7 +94,9 @@ func runJobResilient[J, R any](ctx context.Context, pol *resilience.Policy, inj 
 			}
 			break
 		}
-		if serr := pol.SleepBackoff(ctx, pol.Backoff(key, attempt+1)); serr != nil {
+		backoff := pol.Backoff(key, attempt+1)
+		obs.TraceEventDur(ctx, obs.EvRetry, backoff, err.Error())
+		if serr := pol.SleepBackoff(ctx, backoff); serr != nil {
 			// Cancelled mid-backoff: the retry is never re-submitted.
 			return zero, serr
 		}
@@ -100,6 +104,7 @@ func runJobResilient[J, R any](ctx context.Context, pol *resilience.Policy, inj 
 	}
 	if br.Failure() {
 		ri.trips.Inc()
+		obs.TraceEvent(ctx, obs.EvBreakerOpen, "tripped")
 	}
 	return zero, lastErr
 }

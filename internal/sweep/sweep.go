@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +54,21 @@ type Engine struct {
 	// attempt. Nil — the production setting — costs one branch per
 	// job; the chaos suite's nil-injector benchmark holds it there.
 	Inject *faultinject.Injector
+	// Trace, when non-nil, receives the causal per-job event chain:
+	// enqueue/dispatch/done on every job, plus attempt/retry/breaker
+	// events from the resilient path and estimator/gate/store events
+	// from the layers below (via the job context). Nil — the default —
+	// costs one branch per job. Like Obs, the tracer observes the sweep
+	// without touching its results: traced and untraced runs are
+	// byte-identical.
+	Trace *obs.Tracer
+
+	// traceMeta, when set (by MapCached), supplies each job's stable
+	// trace ID and human key by submission index, and transfers
+	// ownership of the enqueue events to the caller. When nil, Map
+	// derives IDs from a per-tracer sweep sequence number and emits the
+	// enqueue chain itself.
+	traceMeta func(i int) (id, key string)
 }
 
 // Progress is one advancement report of a running sweep.
@@ -228,6 +244,32 @@ func Map[J, R any](ctx context.Context, e *Engine, jobs []J, fn func(ctx context
 		mETA    = e.Obs.Gauge("sweep/eta_seconds")
 	)
 	total := len(jobs)
+	// Trace identity resolves once per sweep: either the caller
+	// (MapCached) supplied digest-derived IDs via traceMeta, or Map
+	// derives stable fallback IDs from a per-tracer sweep sequence
+	// number and the submission index — and then also owns the enqueue
+	// events, emitted here in submission order before the pool starts.
+	tr := e.Trace
+	var traceIDs, traceKeys []string
+	if tr != nil {
+		meta := e.traceMeta
+		ownEnqueue := meta == nil
+		if meta == nil {
+			sweepN := strconv.FormatUint(tr.NextSweep(), 10)
+			meta = func(i int) (string, string) {
+				idx := strconv.Itoa(i)
+				return obs.TraceID("sweep", sweepN, "job", idx), idx
+			}
+		}
+		traceIDs = make([]string, total)
+		traceKeys = make([]string, total)
+		for i := 0; i < total; i++ {
+			traceIDs[i], traceKeys[i] = meta(i)
+			if ownEnqueue {
+				tr.Emit(traceIDs[i], obs.EvEnqueue, traceKeys[i], -1, 0, "")
+			}
+		}
+	}
 	// Resilience state: one breaker per Map call (= per sweep family),
 	// instruments resolved once. resilient stays false on the
 	// production fast path (nil policy, nil injector).
@@ -288,31 +330,48 @@ func Map[J, R any](ctx context.Context, e *Engine, jobs []J, fn func(ctx context
 				if err := ctx.Err(); err != nil {
 					// Cancelled: drain the remaining indices cheaply so
 					// the sweep returns promptly with partial results.
+					if tr != nil {
+						tr.Emit(traceIDs[i], obs.EvError, traceKeys[i], -1, 0, "skipped: "+err.Error())
+					}
 					fail(i, err)
 					continue
 				}
+				timed := obsOn || tr != nil
 				var t0 time.Time
-				if obsOn {
+				if timed {
 					t0 = time.Now()
 					mWait.Observe(t0.Sub(start))
+				}
+				jctx := ctx
+				if tr != nil {
+					tr.Emit(traceIDs[i], obs.EvDispatch, traceKeys[i], wi, 0, "")
+					jctx = obs.WithTraceContext(ctx, tr, traceIDs[i], traceKeys[i], wi)
 				}
 				var r R
 				var err error
 				if resilient {
-					r, err = runJobResilient(ctx, e.Policy, e.Inject, breaker, w, i, jobs[i], fn, mPanics, resIns)
+					r, err = runJobResilient(jctx, e.Policy, e.Inject, breaker, w, i, jobs[i], fn, mPanics, resIns)
 				} else {
-					r, err = runJob(ctx, w, jobs[i], fn, mPanics, nil, "")
+					r, err = runJob(jctx, w, jobs[i], fn, mPanics, nil, "")
 				}
 				if err != nil {
 					fail(i, err)
 				} else {
 					results[i] = r
 				}
-				if obsOn {
-					d := time.Since(t0)
+				var d time.Duration
+				if timed {
+					d = time.Since(t0)
 					busyNS.Add(int64(d))
 					mLat.Observe(d)
 					mJobs.Inc()
+				}
+				if tr != nil {
+					if err != nil {
+						tr.Emit(traceIDs[i], obs.EvError, traceKeys[i], wi, d, err.Error())
+					} else {
+						tr.Emit(traceIDs[i], obs.EvDone, traceKeys[i], wi, d, "")
+					}
 				}
 				done.Add(1)
 				report()

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/memsim"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 	"repro/internal/trace"
 )
@@ -80,6 +81,7 @@ func (e *Escalating) EstimateCell(ctx context.Context, eng *sweep.Engine, w *swe
 		return e.twin.EstimateCell(ctx, eng, w, m, wl, key)
 	}
 	registry(eng).Counter("twin/escalations").Inc()
+	obs.TraceEvent(ctx, obs.EvEscalate, fam)
 	return e.exact.EstimateCell(ctx, eng, w, m, wl, key)
 }
 
@@ -91,6 +93,7 @@ func (e *Escalating) EstimateDense(ctx context.Context, eng *sweep.Engine, j cor
 		return e.twin.EstimateDense(ctx, eng, j, key)
 	}
 	registry(eng).Counter("twin/escalations").Inc()
+	obs.TraceEvent(ctx, obs.EvEscalate, fam)
 	return e.exact.EstimateDense(ctx, eng, j, key)
 }
 

@@ -44,6 +44,7 @@ func (Estimator) Version() string { return ModelVersion }
 // validation gate as exact cells. The sweep worker is unused — the
 // twin needs no pooled simulator.
 func (Estimator) EstimateCell(ctx context.Context, eng *sweep.Engine, _ *sweep.Worker, m *core.Machine, wl trace.Workload, key string) (memsim.Result, error) {
+	obs.TraceEvent(ctx, obs.EvEstimator, "twin")
 	cfg := m.Config()
 	tr, err := Predict(&cfg, wl)
 	if err != nil {
@@ -68,6 +69,7 @@ func (Estimator) EstimateCell(ctx context.Context, eng *sweep.Engine, _ *sweep.W
 // tile-reuse law over the unscaled configuration, with the same
 // efficiency derating (tiling + strong-scaling) as the exact path.
 func (Estimator) EstimateDense(ctx context.Context, eng *sweep.Engine, j core.DenseJob, key string) (memsim.Result, error) {
+	obs.TraceEvent(ctx, obs.EvEstimator, "twin")
 	cfg := trace.UnscaledConfig(j.Machine.Config())
 	tr, err := PredictDense(&cfg, j.Kind, j.N, j.NB)
 	if err != nil {

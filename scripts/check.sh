@@ -39,13 +39,26 @@ fi
 echo "== twin calibration (cmd/opmcalib -check)"
 go run ./cmd/opmcalib -check
 
+# The harness suite is simulator-bound and the race detector costs
+# >10x on it (TestTablesTiny alone is ~2 minutes clean and well past
+# 20 under -race on a small container), so the default 10m
+# per-package timeout has no headroom; 60m keeps a loaded box from
+# flaking without masking a genuine hang.
 echo "== go test -race $pkgs"
-go test -race $pkgs
+go test -race -timeout 60m $pkgs
 
 # The store's crash-safety claims rest on its locking discipline; run
 # its suite twice under the race detector to shake out ordering flakes.
 echo "== go test -race -count=2 ./internal/store"
 go test -race -count=2 ./internal/store
+
+# Perf-regression gate: re-measure the fixed benchmark roster and
+# compare against scripts/bench-baseline.json. The 2x factor
+# (BENCH_GATE_FACTOR to override) is deliberately generous — it exists
+# to catch algorithmic regressions, not scheduler noise. A deliberate
+# perf change re-baselines with `make bench-baseline`.
+echo "== bench gate (scripts/bench-json.sh -check)"
+scripts/bench-json.sh -check
 
 # Chaos gate: the fault-injection scenarios run explicitly, under the
 # race detector, with their fixed fault seeds (every chaos spec pins
