@@ -1,6 +1,6 @@
 # Convenience targets; see scripts/check.sh for the full gate.
 
-.PHONY: build test lint lint-diff check calib calib-baseline chaos bench bench-obs bench-store bench-resilience bench-twin bench-json bench-baseline bench-trace profile
+.PHONY: build test lint lint-diff check calib calib-baseline chaos bench bench-obs bench-store bench-resilience bench-twin bench-json bench-baseline bench-trace bench-serve profile serve
 
 build:
 	go build ./...
@@ -83,6 +83,17 @@ bench-baseline:
 bench-resilience:
 	go test -bench='BenchmarkMap(DisabledResilience|IdleResilience|NilInjector)' \
 		-benchtime=100x -run=^$$ ./internal/sweep
+
+# Run the serving daemon (cmd/opmserve) over the default local store.
+# Warm it from a batch run first (go run ./cmd/opmbench -store .opmstore)
+# and most queries are sub-millisecond hits.
+serve:
+	go run ./cmd/opmserve -store .opmstore -addr localhost:8080
+
+# Warm-hit latency guard: the full hot-path request cycle (mux, decode,
+# resolve, LRU hit, render, encode) must stay sub-millisecond.
+bench-serve:
+	go test -bench=BenchmarkServeHotPath -benchtime=1s -run=^$$ ./internal/serve
 
 # Profile a short dense sweep with live pprof plus a CPU profile and a
 # metrics dump under prof/. Inspect with: go tool pprof prof/opmbench.cpu

@@ -65,6 +65,17 @@ func reportEqual(t *testing.T, label string, a, b *Report) {
 	}
 }
 
+// skipInShort keeps the chaos tier out of -short runs: CI runs the
+// quick build/test/lint split (.github/workflows/ci.yml), while the
+// chaos scenarios run locally under the race detector via
+// scripts/check.sh. Plain `go test ./...` still runs everything.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("chaos tier is local-only (scripts/check.sh); skipped under -short")
+	}
+}
+
 // TestChaosEquivalence is the acceptance contract of the fault
 // framework: a run with transient faults injected into well over 10% of
 // its jobs — transient errors, one-shot panics, delays, and
@@ -72,6 +83,7 @@ func reportEqual(t *testing.T, label string, a, b *Report) {
 // a fault-free run, with zero dropped cells, because every injected
 // fault heals within the attempt budget.
 func TestChaosEquivalence(t *testing.T) {
+	skipInShort(t)
 	clean, _ := chaosRun(t, "fig9", "", nil, nil)
 
 	spec := "seed=7,job:transient@0.4,job:panic@0.2,job:delay@0.3=200us,result:corrupt@0.4"
@@ -103,6 +115,7 @@ func TestChaosEquivalence(t *testing.T) {
 // partial report with the dropped cells annotated as warnings, never a
 // hang or an abort.
 func TestChaosExhaustionDegradesGracefully(t *testing.T) {
+	skipInShort(t)
 	rep, counters := chaosRun(t, "fig9", "seed=7,job:permanent@0.3", chaosPolicy(), nil)
 	if rep.Dropped == 0 {
 		t.Fatal("permanent faults dropped nothing")
@@ -128,6 +141,7 @@ func TestChaosExhaustionDegradesGracefully(t *testing.T) {
 // yields byte-identical reports and identical fault/retry counters
 // across runs, and a different seed selects a different fault set.
 func TestChaosDeterminism(t *testing.T) {
+	skipInShort(t)
 	spec := "seed=7,job:transient@0.4,result:corrupt@0.4"
 	rep1, c1 := chaosRun(t, "fig9", spec, chaosPolicy(), nil)
 	rep2, c2 := chaosRun(t, "fig9", spec, chaosPolicy(), nil)
@@ -154,6 +168,7 @@ func TestChaosDeterminism(t *testing.T) {
 // place, the damage counters record it, and the journal reopens clean
 // and warm-serves a byte-identical report.
 func TestChaosStoreTornWrites(t *testing.T) {
+	skipInShort(t)
 	clean, _ := chaosRun(t, "fig9", "", nil, nil)
 
 	dir := t.TempDir()
@@ -187,6 +202,7 @@ func TestChaosStoreTornWrites(t *testing.T) {
 // the affected cells recompute, still converging to a byte-identical
 // report.
 func TestChaosStoreCorruptWritesRecompute(t *testing.T) {
+	skipInShort(t)
 	clean, _ := chaosRun(t, "fig9", "", nil, nil)
 
 	dir := t.TempDir()
@@ -223,6 +239,7 @@ func TestChaosStoreCorruptWritesRecompute(t *testing.T) {
 // trips the breaker, the remaining cells are short-circuited, and the
 // report carries the drops as warnings instead of aborting.
 func TestChaosBreakerAnnotatesReport(t *testing.T) {
+	skipInShort(t)
 	pol := chaosPolicy()
 	pol.BreakerThreshold = 2
 	// Whether the breaker actually trips depends on two drops landing

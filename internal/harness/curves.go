@@ -53,8 +53,13 @@ func curveWorkload(kernel string, simFP, scale int64) (trace.Workload, error) {
 	return nil, fmt.Errorf("harness: unknown curve kernel %q", kernel)
 }
 
-// curvePoint is one footprint × machine observation.
-type curvePoint struct {
+// CurvePoint is one footprint × machine observation — the unit the
+// curve figures sweep over and the cell the serve daemon's curve
+// queries resolve to. One cached cell holds every mode's value, so a
+// mode-specific query renders a field out of the same stored bytes the
+// batch figures journal (field names are part of the store format; see
+// DESIGN.md §8).
+type CurvePoint struct {
 	Footprint int64 // reported scale
 	GFlops    map[memsim.Mode]float64
 	GBs       map[memsim.Mode]float64 // app-level bandwidth (Stream figures)
@@ -63,50 +68,25 @@ type curvePoint struct {
 // runCurves sweeps one kernel across footprints and modes on the sweep
 // engine: one job per footprint point, each driving every mode through
 // its worker's pooled simulators.
-func runCurves(ctx context.Context, platName, kernel string, opt Options) ([]curvePoint, []*core.Machine, error) {
-	base, opms, plat, err := machineSet(platName)
+func runCurves(ctx context.Context, platName, kernel string, opt Options) ([]CurvePoint, []*core.Machine, error) {
+	spec, err := NewCurveSpec(platName)
 	if err != nil {
 		return nil, nil, err
 	}
-	machines := append([]*core.Machine{base}, opms...)
-	fps := curveFootprints(plat, opt)
+	machines := spec.Machines
+	fps := spec.Footprints(opt)
 	opt.logger().Debug("curve sweep starting", "platform", platName, "kernel", kernel,
 		"points", len(fps), "modes", len(machines))
 	// One footprint point runs every mode, so the machine-set hash
 	// (plus the scale the workload builder consumes) is the config
 	// component and the footprint is the job key.
-	cache := cacheFor[int64, curvePoint](opt, "curve/"+kernel,
-		machinesHash(machines, plat.Scale),
-		func(fp int64) string { return fmt.Sprint(fp) })
+	cache := cacheFor[int64, CurvePoint](opt, "curve/"+kernel, spec.ConfigHash(), CurveCellKey)
 	eng := opt.engine()
 	sp := opt.Obs.StartSpan("curves/" + platName + "/" + kernel + "/sweep") //opmlint:allow counternames — platform and kernel come from the closed registry roster; the curves/<plat>/<kernel> namespace is enumerable
 	defer sp.End()
 	pts, err := sweep.MapCached(ctx, eng, fps, cache,
-		func(ctx context.Context, w *sweep.Worker, fp int64) (curvePoint, error) {
-			simFP := plat.ScaledBytes(fp)
-			if simFP < 4096 {
-				simFP = 4096
-			}
-			wl, err := curveWorkload(kernel, simFP, plat.Scale)
-			if err != nil {
-				return curvePoint{}, err
-			}
-			pt := curvePoint{
-				GFlops: map[memsim.Mode]float64{},
-				GBs:    map[memsim.Mode]float64{},
-			}
-			for _, mach := range machines {
-				r, err := opt.estimator().EstimateCell(ctx, eng, w, mach, wl, fmt.Sprintf("%s|fp=%d|%s", kernel, fp, mach.Label()))
-				if err != nil {
-					return curvePoint{}, fmt.Errorf("%s at %d MB on %s: %w", kernel, fp>>20, mach.Label(), err)
-				}
-				pt.GFlops[mach.Mode] = r.GFlops
-				// App-level bandwidth by the paper's byte accounting:
-				// bytes = flops / AI, AI = flops/bytes of Table 2.
-				pt.GBs[mach.Mode] = appGBs(kernel, wl, r)
-				pt.Footprint = r.FootprintBytes
-			}
-			return pt, nil
+		func(ctx context.Context, w *sweep.Worker, fp int64) (CurvePoint, error) {
+			return spec.ComputeCell(ctx, eng, w, opt.estimator(), kernel, fp)
 		})
 	if err != nil {
 		// Curve points are few and equally weighted; a hole would warp
@@ -147,10 +127,10 @@ func curveRunner(platName, kernel string) func(context.Context, Options) (*Repor
 		}
 		rep := &Report{CSV: map[string][]string{}}
 		unit := "GFlop/s"
-		value := func(pt curvePoint, mode memsim.Mode) float64 { return pt.GFlops[mode] }
+		value := func(pt CurvePoint, mode memsim.Mode) float64 { return pt.GFlops[mode] }
 		if kernel == "Stream" {
 			unit = "GB/s"
-			value = func(pt curvePoint, mode memsim.Mode) float64 { return pt.GBs[mode] }
+			value = func(pt CurvePoint, mode memsim.Mode) float64 { return pt.GBs[mode] }
 		}
 		var series []plot.Series
 		csv := []string{csvLine("footprint_mb", "mode", "gflops", "app_gbs")}

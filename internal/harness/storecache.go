@@ -1,8 +1,6 @@
 package harness
 
 import (
-	"fmt"
-
 	"repro/internal/core"
 	"repro/internal/memsim"
 	"repro/internal/obs"
@@ -48,11 +46,7 @@ func cacheFor[J, R any](opt Options, sweepID, cfgHash string, key func(J) string
 	if opt.Store == nil {
 		return nil
 	}
-	version := core.ModelVersion
-	if est := opt.estimator(); est.Mode() != "exact" {
-		version = est.Version()
-		sweepID = est.Mode() + "/" + sweepID
-	}
+	version, sweepID := estimatorDigestIdentity(opt.estimator(), sweepID)
 	return &storeCache[J, R]{st: opt.Store, force: opt.Force, version: version,
 		sweepID: sweepID, cfgHash: cfgHash, key: key}
 }
@@ -112,7 +106,5 @@ func machinesHash(machines []*core.Machine, extra ...any) string {
 // configuration is hashed into the key, so any experiment evaluating
 // the same (config, kind, n, nb) cell reuses the same entry.
 func denseCache(opt Options) sweep.Cache[core.DenseJob, memsim.Result] {
-	return cacheFor[core.DenseJob, memsim.Result](opt, "dense", "", func(j core.DenseJob) string {
-		return fmt.Sprintf("%s|%s|%d|%d", obs.Hash(j.Machine.Config()), j.Kind, j.N, j.NB)
-	})
+	return cacheFor[core.DenseJob, memsim.Result](opt, DenseSweepID, "", DenseKey)
 }

@@ -1,10 +1,12 @@
 package lint
 
-// errdiscard: the store and faultinject packages may never drop an
-// error on the floor. The journal is the single source of truth for
-// cached results — a swallowed write or fsync error there turns
-// "crash-safe checkpoint" into silent data loss, and the fault
-// injector's whole job is to prove errors propagate. Flagged forms:
+// errdiscard: the store, faultinject and serve packages may never
+// drop an error on the floor. The journal is the single source of
+// truth for cached results — a swallowed write or fsync error there
+// turns "crash-safe checkpoint" into silent data loss, the fault
+// injector's whole job is to prove errors propagate, and the serving
+// daemon sits on the journal's write path (a dropped commit error
+// would quietly un-persist an answered query). Flagged forms:
 // a call statement whose (last) result is an error, and a blank `_`
 // assignment of an error-typed value. Exempt by contract: writes to
 // strings.Builder, bytes.Buffer and hash.Hash* (defined to never
@@ -20,10 +22,10 @@ import (
 
 var errdiscardCheck = &Check{
 	Name: "errdiscard",
-	Doc:  "no discarded errors in store/faultinject (journal write paths)",
+	Doc:  "no discarded errors in store/faultinject/serve (journal write paths)",
 	Applies: func(w *World, p *Package) bool {
 		for _, seg := range strings.Split(p.ImportPath, "/") {
-			if seg == "store" || seg == "faultinject" {
+			if seg == "store" || seg == "faultinject" || seg == "serve" {
 				return true
 			}
 		}

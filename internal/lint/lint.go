@@ -19,8 +19,9 @@
 //	              from cmd/ and _test.go files
 //	counternames  obs counter/gauge/histogram names are compile-time
 //	              constants matching [a-z0-9_/]+
-//	errdiscard    no discarded errors in the store and faultinject
-//	              packages (the journal's crash-safety layer)
+//	errdiscard    no discarded errors in the store, faultinject and
+//	              serve packages (the journal's crash-safety layer
+//	              and the daemon on its write path)
 //
 // Suppression is explicit and auditable: a finding is silenced only by
 // a //opmlint:allow <check> — <reason> comment on the offending line,

@@ -36,6 +36,22 @@ func promEscape(v string) string {
 	return v
 }
 
+// promLabel renders one {name="value"} label set with the value
+// escaped. Every labelled series below goes through this — label
+// safety is structural, not a property of today's label values.
+func promLabel(name, value string) string {
+	return "{" + name + `="` + promEscape(value) + `"}`
+}
+
+// promHelp writes the HELP line for a metric family. The exposition
+// format wants HELP text newline- and backslash-escaped (a double
+// quote is legal there, unlike in label values).
+func promHelp(b *strings.Builder, metric, help string) {
+	help = strings.ReplaceAll(help, `\`, `\\`)
+	help = strings.ReplaceAll(help, "\n", `\n`)
+	fmt.Fprintf(b, "# HELP %s %s\n", metric, help)
+}
+
 // WriteProm renders the registry in Prometheus text exposition format
 // 0.0.4: counters as counters (with the conventional _total suffix),
 // gauges as gauges, histograms as summaries with p50/p95/p99 quantile
@@ -76,10 +92,12 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	for _, name := range names {
 		h := s.Histograms[name]
 		mn := promName(name) + "_seconds"
+		promHelp(&b, mn, "latency summary of registry histogram "+name+
+			" (p50/p95/p99 interpolated from fixed pow2 buckets)")
 		fmt.Fprintf(&b, "# TYPE %s summary\n", mn)
-		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %g\n", mn, float64(h.P50NS)/1e9)
-		fmt.Fprintf(&b, "%s{quantile=\"0.95\"} %g\n", mn, float64(h.P95NS)/1e9)
-		fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %g\n", mn, float64(h.P99NS)/1e9)
+		fmt.Fprintf(&b, "%s%s %g\n", mn, promLabel("quantile", "0.5"), float64(h.P50NS)/1e9)
+		fmt.Fprintf(&b, "%s%s %g\n", mn, promLabel("quantile", "0.95"), float64(h.P95NS)/1e9)
+		fmt.Fprintf(&b, "%s%s %g\n", mn, promLabel("quantile", "0.99"), float64(h.P99NS)/1e9)
 		fmt.Fprintf(&b, "%s_sum %g\n", mn, float64(h.SumNS)/1e9)
 		fmt.Fprintf(&b, "%s_count %d\n", mn, h.Count)
 	}
@@ -92,13 +110,13 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		sort.Strings(paths)
 		b.WriteString("# TYPE opm_span_seconds_total counter\n")
 		for _, path := range paths {
-			fmt.Fprintf(&b, "opm_span_seconds_total{path=\"%s\"} %g\n",
-				promEscape(path), float64(s.Spans[path].TotalNS)/1e9)
+			fmt.Fprintf(&b, "opm_span_seconds_total%s %g\n",
+				promLabel("path", path), float64(s.Spans[path].TotalNS)/1e9)
 		}
 		b.WriteString("# TYPE opm_span_invocations_total counter\n")
 		for _, path := range paths {
-			fmt.Fprintf(&b, "opm_span_invocations_total{path=\"%s\"} %d\n",
-				promEscape(path), s.Spans[path].Count)
+			fmt.Fprintf(&b, "opm_span_invocations_total%s %d\n",
+				promLabel("path", path), s.Spans[path].Count)
 		}
 	}
 

@@ -52,20 +52,30 @@ import (
 // covers Emit/TraceEvent call sites); cmd/opmprof's phase attribution
 // keys on them.
 const (
-	EvEnqueue     = "job/enqueue"       // job submitted to a sweep (worker -1)
-	EvDispatch    = "job/dispatch"      // worker picked the job up (TS − enqueue TS = queue wait)
-	EvAttempt     = "job/attempt"       // one resilient attempt started (detail: attempt number)
-	EvRetry       = "job/retry_backoff" // backoff sleep before the next attempt (dur: planned backoff)
-	EvBreakerOpen = "job/breaker_open"  // circuit breaker tripped or short-circuited this job
-	EvDone        = "job/done"          // job finished successfully (dur: dispatch-to-done busy time)
-	EvError       = "job/error"         // job failed or was skipped (detail: error)
-	EvFault       = "fault/fire"        // chaos injector fired (detail: point:kind)
-	EvEstimator   = "estimator/serve"   // estimator choice (detail: exact | twin)
+	EvEnqueue     = "job/enqueue"        // job submitted to a sweep (worker -1)
+	EvDispatch    = "job/dispatch"       // worker picked the job up (TS − enqueue TS = queue wait)
+	EvAttempt     = "job/attempt"        // one resilient attempt started (detail: attempt number)
+	EvRetry       = "job/retry_backoff"  // backoff sleep before the next attempt (dur: planned backoff)
+	EvBreakerOpen = "job/breaker_open"   // circuit breaker tripped or short-circuited this job
+	EvDone        = "job/done"           // job finished successfully (dur: dispatch-to-done busy time)
+	EvError       = "job/error"          // job failed or was skipped (detail: error)
+	EvFault       = "fault/fire"         // chaos injector fired (detail: point:kind)
+	EvEstimator   = "estimator/serve"    // estimator choice (detail: exact | twin)
 	EvEscalate    = "estimator/escalate" // auto policy escalated twin→exact (detail: kernel family)
-	EvGate        = "gate/result"       // validation gate verdict (detail: ok | quarantine)
-	EvStoreHit    = "store/hit"         // cache lookup hit — job bypasses the pool (dur: lookup)
-	EvStoreMiss   = "store/miss"        // cache lookup missed — job will compute (dur: lookup)
-	EvStoreCommit = "store/commit"      // result checkpointed to the store (dur: commit)
+	EvGate        = "gate/result"        // validation gate verdict (detail: ok | quarantine)
+	EvStoreHit    = "store/hit"          // cache lookup hit — job bypasses the pool (dur: lookup)
+	EvStoreMiss   = "store/miss"         // cache lookup missed — job will compute (dur: lookup)
+	EvStoreCommit = "store/commit"       // result checkpointed to the store (dur: commit)
+
+	// Serve-daemon request events (internal/serve). They share the
+	// cell's store-digest trace ID, so a request chain joins the batch
+	// job chains that computed or will compute the same cell.
+	EvServeRecv = "serve/recv"    // request arrived (detail: route|class)
+	EvServeHot  = "serve/hot_hit" // hot-set hit — served from memory, no disk, no pool (dur: lookup)
+	EvAdmit     = "serve/admit"   // admission granted (dur: queue wait, detail: class)
+	EvReject    = "serve/reject"  // admission rejected with 429 (detail: class)
+	EvRoute     = "serve/route"   // router picked a worker shard (detail: policy:shard)
+	EvRefine    = "serve/refine"  // background exact refinement committed (dur: compute)
 )
 
 // Event is one step of a job's causal chain.

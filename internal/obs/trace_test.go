@@ -210,6 +210,7 @@ func TestWriteProm(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE opm_sweep_jobs_total counter\nopm_sweep_jobs_total 7\n",
 		"# TYPE opm_sweep_workers gauge\nopm_sweep_workers 4\n",
+		"# HELP opm_sweep_job_latency_seconds ",
 		"# TYPE opm_sweep_job_latency_seconds summary\n",
 		`opm_sweep_job_latency_seconds{quantile="0.5"}`,
 		`opm_sweep_job_latency_seconds{quantile="0.95"}`,
@@ -237,6 +238,17 @@ func TestWriteProm(t *testing.T) {
 	}
 	if promEscape("a\"b\\c\nd") != `a\"b\\c\nd` {
 		t.Fatalf("promEscape wrong: %q", promEscape("a\"b\\c\nd"))
+	}
+	// Label values escape structurally — a hostile span path cannot
+	// break the line format.
+	hostile := NewRegistry()
+	hostile.StartSpan("exp/evil\"path\n2").End()
+	buf.Reset()
+	if err := hostile.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if want := `opm_span_invocations_total{path="exp/evil\"path\n2"} 1`; !strings.Contains(buf.String(), want) {
+		t.Fatalf("hostile label not escaped, want %q in:\n%s", want, buf.String())
 	}
 }
 

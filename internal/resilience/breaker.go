@@ -3,6 +3,7 @@ package resilience
 import (
 	"errors"
 	"sync/atomic"
+	"time"
 )
 
 // ErrBreakerOpen fails the jobs a tripped circuit breaker short-
@@ -11,46 +12,99 @@ import (
 // annotates the dropped cells instead of aborting the report.
 var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
 
-// Breaker is a per-sweep-family circuit breaker: it trips after a
-// threshold of *consecutive* dropped jobs (a success resets the
-// count), and once open it stays open for the rest of the sweep —
-// sweeps are finite, so there is no half-open probe state. All methods
-// are safe for concurrent use and on a nil receiver (which never
-// trips).
+// Breaker states. The zero value is closed, so an atomically-zeroed
+// Breaker starts in the right state.
+const (
+	breakerClosed int32 = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Breaker is a circuit breaker: it trips after a threshold of
+// *consecutive* dropped jobs (a success resets the count). With no
+// cooldown configured, once open it stays open — right for a finite
+// batch sweep, where the remaining cells of a systematically broken
+// family should fail fast. With a positive cooldown (the serve
+// daemon's configuration), an open breaker half-opens after the
+// cooldown elapses: exactly one probe job is admitted; its success
+// closes the breaker, its failure re-opens it for another cooldown.
+// All methods are safe for concurrent use and on a nil receiver
+// (which never trips).
 type Breaker struct {
 	threshold int64
-	consec    atomic.Int64
-	open      atomic.Bool
-	trips     atomic.Int64
+	cooldown  time.Duration
+	// nowNS is the monotonic-enough clock the cooldown is measured
+	// on; a test seam so half-open transitions don't need real sleeps.
+	nowNS    func() int64
+	consec   atomic.Int64
+	state    atomic.Int32
+	openedNS atomic.Int64
+	trips    atomic.Int64
 }
 
-// Allow reports whether a job may run (false once tripped).
+func (b *Breaker) clock() int64 {
+	if b.nowNS != nil {
+		return b.nowNS()
+	}
+	return time.Now().UnixNano() //opmlint:allow determinism — breaker cooldown is wall-clock policy, not simulation state
+}
+
+// Allow reports whether a job may run. Closed always admits. Open
+// admits nothing until the cooldown (if any) elapses; the first caller
+// to observe an expired cooldown wins the half-open transition and
+// becomes the single probe — concurrent callers keep failing fast
+// until the probe's verdict is in.
 func (b *Breaker) Allow() bool {
-	return b == nil || !b.open.Load()
-}
-
-// Success records a completed job, resetting the consecutive-failure
-// count.
-func (b *Breaker) Success() {
-	if b != nil {
-		b.consec.Store(0)
+	if b == nil {
+		return true
+	}
+	switch b.state.Load() {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.cooldown > 0 && b.clock()-b.openedNS.Load() >= int64(b.cooldown) {
+			// CAS so exactly one concurrent caller is the probe.
+			return b.state.CompareAndSwap(breakerOpen, breakerHalfOpen)
+		}
+		return false
+	default: // half-open: a probe is already in flight
+		return false
 	}
 }
 
+// Success records a completed job, resetting the consecutive-failure
+// count and closing a half-open breaker (the probe succeeded).
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.consec.Store(0)
+	b.state.CompareAndSwap(breakerHalfOpen, breakerClosed)
+}
+
 // Failure records a dropped job (permanent failure or exhausted
-// retries) and reports whether this failure tripped the breaker.
+// retries) and reports whether this failure tripped the breaker. A
+// failed half-open probe re-opens immediately — one strike, back to
+// cooldown — and counts as a trip.
 func (b *Breaker) Failure() bool {
 	if b == nil {
 		return false
 	}
-	if b.consec.Add(1) >= b.threshold && b.open.CompareAndSwap(false, true) {
+	if b.state.CompareAndSwap(breakerHalfOpen, breakerOpen) {
+		b.openedNS.Store(b.clock())
+		b.trips.Add(1)
+		return true
+	}
+	if b.consec.Add(1) >= b.threshold && b.state.CompareAndSwap(breakerClosed, breakerOpen) {
+		b.openedNS.Store(b.clock())
 		b.trips.Add(1)
 		return true
 	}
 	return false
 }
 
-// Tripped reports whether the breaker has opened.
+// Tripped reports whether the breaker is open or probing (i.e. not
+// fully closed).
 func (b *Breaker) Tripped() bool {
-	return b != nil && b.open.Load()
+	return b != nil && b.state.Load() != breakerClosed
 }

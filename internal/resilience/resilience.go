@@ -49,6 +49,13 @@ type Policy struct {
 	// systematically broken sweep degrades to a partial-but-annotated
 	// report instead of grinding through every doomed cell.
 	BreakerThreshold int
+	// BreakerCooldown, when positive, lets an open breaker half-open
+	// after this long: one probe job is admitted, its success closes
+	// the breaker, its failure re-opens it for another cooldown. Zero
+	// keeps the batch-sweep behaviour — once open, open for good —
+	// which is what finite sweeps want; the long-running serve daemon
+	// sets a cooldown so a transiently broken family recovers.
+	BreakerCooldown time.Duration
 	// Classify, when non-nil, overrides Retryable as the transient-
 	// failure test.
 	Classify func(error) bool
@@ -136,7 +143,7 @@ func (p *Policy) NewBreaker() *Breaker {
 	if p == nil || p.BreakerThreshold <= 0 {
 		return nil
 	}
-	return &Breaker{threshold: int64(p.BreakerThreshold)}
+	return &Breaker{threshold: int64(p.BreakerThreshold), cooldown: p.BreakerCooldown}
 }
 
 // hash64 mixes the parts into a deterministic 64-bit value. The FNV

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// hotEntry is one cached cell in the hot set: the verbatim store
+// payload plus the serving metadata the response renders from.
+type hotEntry struct {
+	// data is the cell's JSON exactly as the store journals it — a
+	// hot-set hit serves the same bytes a journal hit would.
+	data []byte
+	// estimator is the mode that produced data ("exact", "twin", ...).
+	estimator string
+	// provisional marks a twin-first answer parked under the exact
+	// digest while its background refinement runs. Provisional entries
+	// never reach the persistent store under that digest — the journal
+	// only ever holds twin values under twin digests and exact values
+	// under exact digests (DESIGN.md §11); the aliasing is confined to
+	// this in-memory layer and is labelled in every response.
+	provisional bool
+	// errBound is the calibrated family error bound a provisional
+	// answer carries (fraction, e.g. 0.054).
+	errBound float64
+}
+
+// hotSet is the in-memory LRU in front of the journal, keyed by store
+// content digests. Hits never touch disk or the worker pool. All
+// methods are safe for concurrent use.
+type hotSet struct {
+	mu    sync.Mutex
+	cap   int
+	items map[string]*list.Element
+	lru   *list.List // front = most recently used
+}
+
+type hotItem struct {
+	digest string
+	e      hotEntry
+}
+
+func newHotSet(capacity int) *hotSet {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &hotSet{cap: capacity, items: make(map[string]*list.Element), lru: list.New()}
+}
+
+// get returns the entry under digest, promoting it to most recently
+// used.
+func (h *hotSet) get(digest string) (hotEntry, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	el, ok := h.items[digest]
+	if !ok {
+		return hotEntry{}, false
+	}
+	h.lru.MoveToFront(el)
+	return el.Value.(*hotItem).e, true
+}
+
+// add inserts or replaces the entry under digest and evicts from the
+// cold end past capacity. A refined (non-provisional) entry always
+// replaces a provisional one; a provisional entry never downgrades an
+// existing refined one — a twin-first race can only improve the cache.
+func (h *hotSet) add(digest string, e hotEntry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if el, ok := h.items[digest]; ok {
+		it := el.Value.(*hotItem)
+		if e.provisional && !it.e.provisional {
+			h.lru.MoveToFront(el)
+			return
+		}
+		it.e = e
+		h.lru.MoveToFront(el)
+		return
+	}
+	h.items[digest] = h.lru.PushFront(&hotItem{digest: digest, e: e})
+	for h.lru.Len() > h.cap {
+		old := h.lru.Back()
+		h.lru.Remove(old)
+		delete(h.items, old.Value.(*hotItem).digest)
+	}
+}
+
+// len returns the live entry count.
+func (h *hotSet) len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lru.Len()
+}

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestHotSetLRUEviction(t *testing.T) {
+	h := newHotSet(3)
+	for i := 0; i < 3; i++ {
+		h.add(fmt.Sprintf("d%d", i), hotEntry{data: []byte{byte(i)}})
+	}
+	// Touch d0 so d1 becomes the cold end.
+	if _, ok := h.get("d0"); !ok {
+		t.Fatal("d0 missing before eviction")
+	}
+	h.add("d3", hotEntry{data: []byte{3}})
+	if _, ok := h.get("d1"); ok {
+		t.Fatal("d1 should have been evicted as least recently used")
+	}
+	for _, d := range []string{"d0", "d2", "d3"} {
+		if _, ok := h.get(d); !ok {
+			t.Fatalf("%s missing after eviction", d)
+		}
+	}
+	if h.len() != 3 {
+		t.Fatalf("len = %d, want 3", h.len())
+	}
+}
+
+func TestHotSetReplaceSemantics(t *testing.T) {
+	// A refined entry always replaces a provisional one.
+	h := newHotSet(4)
+	h.add("d", hotEntry{data: []byte("twin"), estimator: "twin", provisional: true, errBound: 0.054})
+	h.add("d", hotEntry{data: []byte("exact"), estimator: "exact"})
+	e, ok := h.get("d")
+	if !ok || e.provisional || string(e.data) != "exact" {
+		t.Fatalf("refined entry did not replace provisional: %+v", e)
+	}
+
+	// A provisional entry never downgrades an existing refined one.
+	h.add("d", hotEntry{data: []byte("twin"), estimator: "twin", provisional: true, errBound: 0.054})
+	e, _ = h.get("d")
+	if e.provisional || string(e.data) != "exact" {
+		t.Fatalf("provisional entry downgraded refined one: %+v", e)
+	}
+
+	// A provisional entry may replace another provisional entry.
+	h2 := newHotSet(4)
+	h2.add("d", hotEntry{data: []byte("a"), provisional: true, errBound: 0.2})
+	h2.add("d", hotEntry{data: []byte("b"), provisional: true, errBound: 0.1})
+	e, _ = h2.get("d")
+	if !e.provisional || string(e.data) != "b" || e.errBound != 0.1 {
+		t.Fatalf("provisional-over-provisional replace failed: %+v", e)
+	}
+}
+
+func TestHotSetDefaults(t *testing.T) {
+	if got := newHotSet(0).cap; got != 4096 {
+		t.Fatalf("default capacity = %d, want 4096", got)
+	}
+	if got := newHotSet(-5).cap; got != 4096 {
+		t.Fatalf("negative capacity = %d, want 4096", got)
+	}
+	h := newHotSet(2)
+	if _, ok := h.get("absent"); ok {
+		t.Fatal("empty hot set reported a hit")
+	}
+}

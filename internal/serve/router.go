@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sweep"
+)
+
+// The router picks which persistent worker shard runs a cold cell.
+// Workers pool one simulator per machine configuration (sweep.Worker),
+// so shard choice is a cache decision: a digest that previously landed
+// on a warm shard finds its pooled simulators hot.
+
+// router is the pluggable shard-selection policy.
+type router interface {
+	name() string
+	// pick returns a shard index in [0, len(loads)); loads is the
+	// current queued+running depth per shard.
+	pick(key string, loads []int64) int
+}
+
+// newRouter builds the policy named by the -router flag.
+func newRouter(name string) (router, error) {
+	switch name {
+	case "", "affinity":
+		return &affinityRouter{shards: map[string]int{}, cap: 1 << 16}, nil
+	case "least-loaded":
+		return leastLoadedRouter{}, nil
+	case "round-robin":
+		return &roundRobinRouter{}, nil
+	}
+	return nil, fmt.Errorf("serve: unknown router %q (want affinity, least-loaded or round-robin)", name)
+}
+
+// roundRobinRouter cycles shards regardless of key or load.
+type roundRobinRouter struct{ next atomic.Uint64 }
+
+func (r *roundRobinRouter) name() string { return "round-robin" }
+func (r *roundRobinRouter) pick(_ string, loads []int64) int {
+	return int((r.next.Add(1) - 1) % uint64(len(loads)))
+}
+
+// leastLoadedRouter picks the minimum-depth shard, lowest index on
+// ties — deterministic under equal load.
+type leastLoadedRouter struct{}
+
+func (leastLoadedRouter) name() string { return "least-loaded" }
+func (leastLoadedRouter) pick(_ string, loads []int64) int {
+	best := 0
+	for i, l := range loads {
+		if l < loads[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// affinityRouter routes a digest back to the shard that computed it
+// last (warm pooled simulators), falling back to least-loaded for new
+// digests. The digest→shard map is bounded by FIFO eviction, so a
+// digest churned out of the map simply re-routes by load.
+type affinityRouter struct {
+	mu     sync.Mutex
+	shards map[string]int
+	ring   []string
+	head   int
+	cap    int
+}
+
+func (r *affinityRouter) name() string { return "affinity" }
+
+func (r *affinityRouter) pick(key string, loads []int64) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if shard, ok := r.shards[key]; ok && shard < len(loads) {
+		return shard
+	}
+	shard := leastLoadedRouter{}.pick(key, loads)
+	if len(r.ring) < r.cap {
+		r.ring = append(r.ring, key)
+	} else {
+		delete(r.shards, r.ring[r.head])
+		r.ring[r.head] = key
+		r.head = (r.head + 1) % r.cap
+	}
+	r.shards[key] = shard
+	return shard
+}
+
+// task is one unit of work submitted to a shard.
+type task struct {
+	fn   func(w *sweep.Worker)
+	done chan struct{}
+}
+
+// workerPool is the fixed set of persistent sweep workers the router
+// schedules over. Each shard owns one sweep.Worker for its goroutine's
+// lifetime, so pooled simulators stay warm across requests — the whole
+// point of affinity routing.
+type workerPool struct {
+	route  router
+	queues []chan *task
+	loads  []atomic.Int64
+	wg     sync.WaitGroup
+}
+
+func newWorkerPool(n int, route router) *workerPool {
+	if n < 1 {
+		n = 1
+	}
+	p := &workerPool{
+		route:  route,
+		queues: make([]chan *task, n),
+		loads:  make([]atomic.Int64, n),
+	}
+	for i := 0; i < n; i++ {
+		q := make(chan *task, 1024)
+		p.queues[i] = q
+		p.wg.Add(1)
+		go func(shard int, q chan *task) {
+			defer p.wg.Done()
+			w := sweep.NewWorker(shard)
+			for t := range q {
+				t.fn(w)
+				p.loads[shard].Add(-1)
+				close(t.done)
+			}
+		}(i, q)
+	}
+	return p
+}
+
+func (p *workerPool) size() int { return len(p.queues) }
+
+func (p *workerPool) snapshot() []int64 {
+	out := make([]int64, len(p.loads))
+	for i := range p.loads {
+		out[i] = p.loads[i].Load()
+	}
+	return out
+}
+
+// run executes fn on the shard the router picks for key and waits for
+// it to finish, returning the shard. Admission control bounds how many
+// callers can be here at once, so the per-shard queues cannot grow
+// unboundedly.
+func (p *workerPool) run(key string, fn func(w *sweep.Worker)) int {
+	shard := p.route.pick(key, p.snapshot())
+	p.loads[shard].Add(1)
+	t := &task{fn: fn, done: make(chan struct{})}
+	p.queues[shard] <- t
+	<-t.done
+	return shard
+}
+
+// close shuts the shards down after in-flight tasks finish. The caller
+// must guarantee no further run calls (the server drains first).
+func (p *workerPool) close() {
+	for _, q := range p.queues {
+		close(q)
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+func TestNewRouterNames(t *testing.T) {
+	for _, tc := range []struct{ flag, name string }{
+		{"", "affinity"},
+		{"affinity", "affinity"},
+		{"least-loaded", "least-loaded"},
+		{"round-robin", "round-robin"},
+	} {
+		r, err := newRouter(tc.flag)
+		if err != nil {
+			t.Fatalf("newRouter(%q): %v", tc.flag, err)
+		}
+		if r.name() != tc.name {
+			t.Fatalf("newRouter(%q).name() = %q, want %q", tc.flag, r.name(), tc.name)
+		}
+	}
+	if _, err := newRouter("random"); err == nil {
+		t.Fatal("unknown router accepted")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	r := &roundRobinRouter{}
+	loads := make([]int64, 3)
+	for i := 0; i < 7; i++ {
+		if got, want := r.pick("k", loads), i%3; got != want {
+			t.Fatalf("pick %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestLeastLoadedPicksMinimum(t *testing.T) {
+	r := leastLoadedRouter{}
+	if got := r.pick("k", []int64{3, 1, 2}); got != 1 {
+		t.Fatalf("pick = %d, want 1", got)
+	}
+	// Ties break to the lowest index — deterministic under equal load.
+	if got := r.pick("k", []int64{2, 0, 0}); got != 1 {
+		t.Fatalf("tie pick = %d, want 1", got)
+	}
+}
+
+func TestAffinityStickyAndEviction(t *testing.T) {
+	r := &affinityRouter{shards: map[string]int{}, cap: 2}
+	// New key routes by load...
+	if got := r.pick("a", []int64{5, 0, 0}); got != 1 {
+		t.Fatalf("first pick = %d, want least-loaded 1", got)
+	}
+	// ...and sticks there regardless of later load.
+	if got := r.pick("a", []int64{0, 9, 0}); got != 1 {
+		t.Fatalf("sticky pick = %d, want 1", got)
+	}
+	// FIFO eviction past cap: a and b fill the map, c evicts a.
+	r.pick("b", []int64{0, 9, 9})
+	r.pick("c", []int64{9, 9, 0})
+	if got := r.pick("a", []int64{9, 0, 9}); got != 1 {
+		t.Fatalf("evicted key re-pick = %d, want least-loaded 1", got)
+	}
+}
+
+func TestWorkerPoolRunsOnPickedShard(t *testing.T) {
+	pool := newWorkerPool(3, &roundRobinRouter{})
+	var mu sync.Mutex
+	seen := map[int]int{} // worker ID → runs
+	for i := 0; i < 6; i++ {
+		shard := pool.run("k", func(w *sweep.Worker) {
+			mu.Lock()
+			seen[w.ID()]++
+			mu.Unlock()
+		})
+		if shard < 0 || shard >= 3 {
+			t.Fatalf("run returned shard %d outside pool", shard)
+		}
+	}
+	for id := 0; id < 3; id++ {
+		if seen[id] != 2 {
+			t.Fatalf("round-robin shard %d ran %d tasks, want 2 (seen %v)", id, seen[id], seen)
+		}
+	}
+	for i, l := range pool.snapshot() {
+		if l != 0 {
+			t.Fatalf("shard %d load %d after quiesce, want 0", i, l)
+		}
+	}
+	pool.close()
+}

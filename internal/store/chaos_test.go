@@ -7,6 +7,16 @@ import (
 	"repro/internal/obs"
 )
 
+// skipInShort keeps the chaos tier out of -short runs: CI runs the
+// quick build/test/lint split (.github/workflows/ci.yml); the chaos
+// scenarios run locally under the race detector via scripts/check.sh.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("chaos tier is local-only (scripts/check.sh); skipped under -short")
+	}
+}
+
 func chaosInjector(t *testing.T, kind faultinject.Kind, rate float64) *faultinject.Injector {
 	t.Helper()
 	in := faultinject.New(5)
@@ -21,6 +31,7 @@ func chaosInjector(t *testing.T, kind faultinject.Kind, rate float64) *faultinje
 // its in-place repair are both counted, and a reopen replays a clean
 // journal — no corrupt records, no truncated tail, every value intact.
 func TestTornWritesAreAbsorbed(t *testing.T) {
+	skipInShort(t)
 	dir := t.TempDir()
 	reg := obs.NewRegistry()
 	s := openT(t, dir, reg)
@@ -66,6 +77,7 @@ func TestTornWritesAreAbsorbed(t *testing.T) {
 // bit-flipped journal record fails its CRC on reopen, is skipped and
 // counted, and the cell falls back to a miss (the recompute path).
 func TestCorruptWritesDetectedOnReplay(t *testing.T) {
+	skipInShort(t)
 	dir := t.TempDir()
 	reg := obs.NewRegistry()
 	s := openT(t, dir, reg)
@@ -114,6 +126,7 @@ func TestCorruptWritesDetectedOnReplay(t *testing.T) {
 // torn records replay, corrupt ones drop, and the reopened store
 // serves exactly the surviving set.
 func TestStoreChaosMix(t *testing.T) {
+	skipInShort(t)
 	dir := t.TempDir()
 	s := openT(t, dir, nil)
 	in := faultinject.New(9)

@@ -203,6 +203,31 @@ func (s *Store) Get(digest string, out any) (bool, error) {
 	return true, nil
 }
 
+// GetRaw returns a copy of the cached JSON payload for digest without
+// decoding it — the serving fast path: the bytes a hit returns are the
+// exact bytes the original Put journaled, so a cache layered above the
+// store (the serve daemon's hot set) can hold and serve them verbatim.
+// Counts as a hit or miss exactly like Get. A nil store always misses.
+func (s *Store) GetRaw(digest string) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	e, ok := s.index[digest]
+	if !ok {
+		s.stats.Misses++
+		s.mu.Unlock()
+		s.mMisses.Inc()
+		return nil, false
+	}
+	s.stats.Hits++
+	data := make([]byte, len(e.Data))
+	copy(data, e.Data)
+	s.mu.Unlock()
+	s.mHits.Inc()
+	return data, true
+}
+
 // Put journals a result under its digest — one framed, checksummed
 // append — and indexes it (last writer wins). This is the sweep's
 // checkpoint: once Put returns, the result survives a crash. On a nil

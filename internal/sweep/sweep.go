@@ -166,6 +166,14 @@ type Worker struct {
 // ID returns the worker's index in [0, Workers).
 func (w *Worker) ID() int { return w.id }
 
+// NewWorker returns a standalone worker with its own empty resource
+// pool. Map builds its workers internally; this constructor exists for
+// long-lived callers — the serve daemon's persistent worker pool —
+// that dispatch jobs onto workers outside Map and want the same pooled
+// simulator reuse across requests. id is the worker's identity in
+// traces and routing.
+func NewWorker(id int) *Worker { return &Worker{id: id, pool: map[any]any{}} }
+
 // Get returns the pooled resource under key, building and caching it on
 // first use. Keys must be comparable; the pool is worker-local, so no
 // locking is involved. A nil worker builds without pooling, so code

@@ -16,6 +16,10 @@
 #                                   # BENCH_GATE_FACTOR (default 2.0) times
 #                                   # slower, or disappeared entirely
 #
+# -check exit codes: 0 ok, 1 perf regression, 2 configuration error
+# (missing baseline, a measured benchmark the baseline does not list,
+# or a non-numeric BENCH_GATE_FACTOR).
+#
 # The baseline's absolute numbers are machine-specific; the generous 2x
 # factor is what makes the gate portable enough to catch relative
 # regressions (an accidental quadratic loop, a lock on the sweep hot
@@ -27,6 +31,25 @@ cd "$(dirname "$0")/.."
 out="BENCH_sweep.json"
 baseline="scripts/bench-baseline.json"
 factor="${BENCH_GATE_FACTOR:-2.0}"
+
+# Configuration errors are exit 2, detected before the multi-minute
+# measurement; exit 1 is reserved for a genuine perf regression, so CI
+# can tell "fix the setup" from "fix the code".
+if [ "${1:-}" = "-check" ]; then
+	case "$factor" in
+	''|.|*[!0-9.]*|*.*.*)
+		echo "bench gate: BENCH_GATE_FACTOR must be a positive number, got \"$factor\"" >&2
+		exit 2 ;;
+	esac
+	if ! awk -v f="$factor" 'BEGIN { exit !(f > 0) }'; then
+		echo "bench gate: BENCH_GATE_FACTOR must be a positive number, got \"$factor\"" >&2
+		exit 2
+	fi
+	if [ ! -f "$baseline" ]; then
+		echo "bench gate: no $baseline committed — run 'make bench-baseline' to create one" >&2
+		exit 2
+	fi
+fi
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -42,6 +65,7 @@ bench ./internal/twin   'BenchmarkTwinVsExact$' 1x
 bench .                 'BenchmarkObsOverhead$' 1x
 bench .                 'BenchmarkTraceOverhead$' 1x
 bench .                 'BenchmarkStoreWarmVsCold$' 1x
+bench ./internal/serve  'BenchmarkServeHotPath$' 1s
 
 # test2json wraps stdout writes in Output actions, and one benchmark
 # result line spans several of them (the name is printed before the
@@ -76,11 +100,6 @@ fi
 
 [ "${1:-}" = "-check" ] || exit 0
 
-if [ ! -f "$baseline" ]; then
-	echo "bench gate: no $baseline committed — run 'make bench-baseline' to create one" >&2
-	exit 1
-fi
-
 awk -v factor="$factor" -F'"' '
 	FNR == 1 { file++ }
 	/":/ {
@@ -93,10 +112,11 @@ awk -v factor="$factor" -F'"' '
 	}
 	END {
 		fail = 0
+		conf = 0
 		for (name in base) {
 			if (!(name in cur)) {
 				printf "bench gate: %s is baselined but was not measured — restore it or re-baseline\n", name
-				fail = 1
+				conf = 1
 				continue
 			}
 			if (cur[name] > base[name] * factor) {
@@ -106,8 +126,11 @@ awk -v factor="$factor" -F'"' '
 			}
 		}
 		for (name in cur)
-			if (!(name in base))
-				printf "bench gate: note: %s has no baseline (new benchmark — re-baseline to track it)\n", name
+			if (!(name in base)) {
+				printf "bench gate: %s is absent from the baseline — run make bench-baseline and commit the diff\n", name
+				conf = 1
+			}
+		if (conf) exit 2
 		exit fail
 	}
 ' "$baseline" "$out"
