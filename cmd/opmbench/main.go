@@ -71,7 +71,7 @@ func run() int {
 		retries    = flag.Int("retries", 0, "retry transient sweep-job failures up to this many extra attempts (capped exponential backoff, seeded jitter)")
 		jobTimeout = flag.Duration("job-timeout", 0, "per-attempt deadline for one sweep job (0 = none); an attempt that exceeds it fails retryably and counts toward -retries, while -timeout still bounds the whole run")
 		breaker    = flag.Int("breaker", 0, "trip a per-sweep circuit breaker after this many consecutive dropped jobs, failing the sweep's remaining jobs fast (0 = off)")
-		faults     = flag.String("faults", "", "chaos fault-injection spec, e.g. \"seed=7,job:transient@0.1,store:torn@0.5\" (points: job, result, store; kinds: transient, permanent, panic, delay, corrupt, torn)")
+		faults     = flag.String("faults", "", "chaos fault-injection spec, e.g. \"seed=7,job:transient@0.1,store:torn@0.5\" (points here: job, result, store; kinds: transient, permanent, panic, delay, corrupt, torn; the proc/coord points are opmshard's — see README fault grammar)")
 
 		estimator  = flag.String("estimator", "exact", "result estimator: exact (per-access simulation), twin (calibrated analytic model), or auto (twin where calibrated error permits, exact elsewhere)")
 		twinMaxErr = flag.Float64("twin-max-err", 0.10, "with -estimator=auto: serve the twin only for kernel families whose calibrated error bound is at most this fraction")

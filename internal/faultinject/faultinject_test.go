@@ -15,7 +15,7 @@ import (
 // clause form parses, and the String render round-trips through Parse
 // to the same rule set.
 func TestParseGrammar(t *testing.T) {
-	spec := "seed=9,job:transient@0.25,job:panic@0.05x2,job:delay@0.5=2ms,result:corrupt@0.1,store:torn@0.75,store:corrupt@0.3"
+	spec := "seed=9,job:transient@0.25,job:panic@0.05x2,job:delay@0.5=2ms,result:corrupt@0.1,store:torn@0.75,store:corrupt@0.3,proc:kill@0.5,proc:hang@0.2,proc:torn@0.4x2,coord:crash@1"
 	in, err := Parse(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -23,7 +23,7 @@ func TestParseGrammar(t *testing.T) {
 	if in.Seed() != 9 {
 		t.Fatalf("seed = %d, want 9", in.Seed())
 	}
-	for _, p := range []string{PointJob, PointResult, PointStore} {
+	for _, p := range []string{PointJob, PointResult, PointStore, PointProc, PointCoord} {
 		if !in.Enabled(p) {
 			t.Fatalf("point %s not enabled", p)
 		}
@@ -56,6 +56,9 @@ func TestParseRejects(t *testing.T) {
 		"job:delay@0.1",         // delay without =DURATION
 		"job:delay@0.1=fast",    // unparsable duration
 		"result:corrupt@squish", // unparsable rate
+		"proc:crash@1",          // crash is a coord kind, not proc
+		"proc:transient@0.5",    // job kind not valid at proc
+		"coord:kill@1",          // kill is a proc kind, not coord
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("spec %q accepted", spec)
@@ -231,6 +234,70 @@ func TestStoreWriteAndResult(t *testing.T) {
 	}
 }
 
+// TestProcCoordPoints covers the process-level points: Proc returns
+// the damage kind keyed by (cell key, restart generation) and heals on
+// the supervised restart by default, and Coord fires once for the
+// first coordinator incarnation and lets the resumed one finish.
+func TestProcCoordPoints(t *testing.T) {
+	in := New(6)
+	if err := in.Add(PointProc, KindKill, 1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if k := in.Proc("cell", 0); k != KindKill {
+		t.Fatalf("Proc generation 0 = %v, want kill", k)
+	}
+	if k := in.Proc("cell", 1); k != KindNone {
+		t.Fatalf("Proc did not heal on restart generation 1: %v", k)
+	}
+
+	// A count-2 rule survives one restart and heals on the second.
+	torn := New(6)
+	if err := torn.Add(PointProc, KindTorn, 1, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	for gen, want := range []Kind{KindTorn, KindTorn, KindNone, KindNone} {
+		if k := torn.Proc("cell", gen); k != want {
+			t.Fatalf("count-2 torn rule at generation %d = %v, want %v", gen, k, want)
+		}
+	}
+
+	coord := New(6)
+	if err := coord.Add(PointCoord, KindCrash, 1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !coord.Coord(0) {
+		t.Fatal("rate-1 coord crash did not fire for the first incarnation")
+	}
+	if coord.Coord(1) {
+		t.Fatal("coord crash fired again after resume")
+	}
+
+	// Proc's keyed draw is a pure function of (seed, key): two
+	// injectors with the same spec agree on every key.
+	mk := func() *Injector {
+		p := New(8)
+		if err := p.Add(PointProc, KindKill, 0.5, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := mk(), mk()
+	fired := 0
+	for i := 0; i < 200; i++ {
+		key := strconv.Itoa(i)
+		ka, kb := a.Proc(key, 0), b.Proc(key, 0)
+		if ka != kb {
+			t.Fatalf("same-seed Proc disagreed on key %s: %v vs %v", key, ka, kb)
+		}
+		if ka == KindKill {
+			fired++
+		}
+	}
+	if fired < 60 || fired > 140 {
+		t.Fatalf("rate 0.5 proc rule fired %d/200 times", fired)
+	}
+}
+
 // TestBindCounters checks firing publishes to fault/<point>_<kind>
 // once the registry is bound, including rules added before Bind.
 func TestBindCounters(t *testing.T) {
@@ -260,6 +327,12 @@ func TestNilInjector(t *testing.T) {
 	}
 	if in.StoreWrite("k") != KindNone {
 		t.Fatal("nil StoreWrite damaged a write")
+	}
+	if in.Proc("k", 0) != KindNone {
+		t.Fatal("nil Proc fired")
+	}
+	if in.Coord(0) {
+		t.Fatal("nil Coord fired")
 	}
 	if in.Enabled(PointJob) || in.Seed() != 0 || in.String() != "" {
 		t.Fatal("nil accessors misbehaved")

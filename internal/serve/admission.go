@@ -132,6 +132,9 @@ func newAdmission(classes map[string]ClassConfig) (*admission, error) {
 	sort.Strings(names)
 	for _, name := range names {
 		c := classes[name]
+		if !validClassName(name) {
+			return nil, fmt.Errorf("serve: admission class name %q must be non-empty [a-z0-9_-] (it names the class's serve/latency metric)", name)
+		}
 		if c.Rate <= 0 {
 			return nil, fmt.Errorf("serve: admission class %q needs a positive rate, got %g", name, c.Rate)
 		}
@@ -153,6 +156,40 @@ func newAdmission(classes map[string]ClassConfig) (*admission, error) {
 		}
 	}
 	return a, nil
+}
+
+// validClassName bounds class names to metric-safe tokens: each class
+// mints a serve/latency/<class> histogram, so the name set must stay
+// closed and exposition-clean.
+func validClassName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// names returns the configured class names, sorted.
+func (a *admission) names() []string {
+	out := make([]string, 0, len(a.classes))
+	for name := range a.classes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// has reports whether class is configured. Serving paths use it to
+// keep client-supplied class strings from minting metric names.
+func (a *admission) has(class string) bool {
+	_, ok := a.classes[class]
+	return ok
 }
 
 // acquire admits one request under class, blocking in the class's wait

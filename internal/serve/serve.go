@@ -147,8 +147,24 @@ func New(cfg Config) (*Server, error) {
 	for fam, b := range twin.DefaultBounds() {
 		s.bounds[fam] = b
 	}
+	// Pre-register every class's SLO histogram so /metrics/prom carries
+	// the full class roster from the first scrape, not on first traffic.
+	for _, name := range adm.names() {
+		s.reg.Histogram("serve/latency/" + name) //opmlint:allow counternames — class names are the closed admission-config set validated by newAdmission
+	}
 	s.pool = newWorkerPool(workers, route)
 	return s, nil
+}
+
+// observeClass records one request's end-to-end latency in its
+// admission class's SLO histogram. Unknown classes are dropped rather
+// than minting metric names from client input — hot-set hits skip
+// admission, so a typo'd class can reach here without being rejected.
+func (s *Server) observeClass(class string, d time.Duration) {
+	if !s.adm.has(class) {
+		return
+	}
+	s.reg.Histogram("serve/latency/" + class).Observe(d) //opmlint:allow counternames — the class set is closed server configuration, validated by newAdmission
 }
 
 func nowNS() int64 {
@@ -266,6 +282,10 @@ func writeQueryError(w http.ResponseWriter, err error) {
 // answer runs the full serving path for one request. The caller must
 // hold a begin() slot.
 func (s *Server) answer(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	start := nowNS()
+	defer func() {
+		s.observeClass(req.Class, time.Duration(nowNS()-start))
+	}()
 	estName := req.Estimator
 	if estName == "" {
 		estName = "exact"
@@ -536,6 +556,7 @@ func (s *Server) spawnRefinement(req QueryRequest, c *cell, exactDigest, traceID
 		// background work runs under its own context.
 		data, _, err := s.computeCell(context.Background(), c, s.estimators["exact"], "exact",
 			exactDigest, traceID, traceKey, "refine")
+		s.observeClass("refine", time.Duration(nowNS()-start))
 		if err != nil {
 			s.reg.Counter("serve/refine_errors").Inc()
 			return

@@ -1,0 +1,554 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// ErrInjectedCrash is what Run returns when a coord:crash fault fires:
+// the coordinator abandons the sweep mid-flight — workers orphaned,
+// journals unread, nothing cleaned up — exactly like a real crash. The
+// recovery path is a plain re-run of the same Options with Generation
+// bumped: resume finds the committed cells in the shard journals.
+var ErrInjectedCrash = errors.New("shard: injected coordinator crash")
+
+// Options configures one coordinator run.
+type Options struct {
+	Spec Spec
+	// Dir is the run directory: per-spawn worker stores go to
+	// Dir/w-<slot>-g<gen>, the canonical merged store to Dir/store.
+	Dir    string
+	Shards int
+	// Faults is the chaos spec shared by coordinator and workers (the
+	// same string rides into every worker manifest, so fire decisions
+	// stay a pure function of seed + key).
+	Faults string
+	// Generation counts coordinator incarnations: a resume after a
+	// crash passes 1, which is how coord:crash rules heal.
+	Generation int
+
+	Reg   *obs.Registry
+	Trace *obs.Tracer
+	Log   *slog.Logger
+
+	// HeartbeatEvery is the workers' beat period (default 100ms).
+	// StallAfter is how long a frozen heartbeat Seq means hung
+	// (default 5s). RestartBase/RestartCap bound the exponential
+	// respawn backoff (defaults 50ms/2s); MaxRestarts retires a slot
+	// (default 5), sending its remainder to other shards.
+	HeartbeatEvery time.Duration
+	StallAfter     time.Duration
+	RestartBase    time.Duration
+	RestartCap     time.Duration
+	MaxRestarts    int
+}
+
+// Report summarizes one coordinator run.
+type Report struct {
+	// Cells is the plan size; Resumed counts cells found already
+	// committed in shard journals at startup (a prior incarnation's
+	// work); Committed counts cells computed this run.
+	Cells, Resumed, Committed int
+	// Spawns counts worker processes launched; Restarts the subset
+	// that replaced a dead or stalled worker; Kills the workers the
+	// supervisor killed for staleness; Steals the work-stealing
+	// reassignments; Retired the slots that exhausted MaxRestarts.
+	Spawns, Restarts, Kills, Steals, Retired int
+	Merge                                    MergeReport
+	// OutDir is the canonical merged store.
+	OutDir string
+}
+
+// slot is one supervised shard: its pending cells and, when running,
+// the live process.
+type slot struct {
+	id      int
+	pending []Cell // cells this slot still owes (requeued on restart)
+	retired bool
+
+	cmd       *exec.Cmd
+	gen       int    // spawn generation (proc-fault attempt number)
+	dir       string // this spawn's private store dir
+	beatPath  string
+	cells     []Cell // cells in this spawn's manifest (beat.Next indexes it)
+	lastSeq   int64
+	lastBeat  time.Time
+	restarts  int
+	backoff   time.Duration
+	respawnAt time.Time // earliest next spawn (backoff gate)
+}
+
+type exitEvent struct {
+	slot int
+	gen  int
+	err  error
+}
+
+// coordinator is the in-flight state of one Run.
+type coordinator struct {
+	opt    Options
+	plan   *Plan
+	inj    *faultinject.Injector
+	log    *slog.Logger
+	runID  string
+	spawns int
+
+	committed map[string]bool
+	slots     []*slot
+	exitCh    chan exitEvent
+	rep       *Report
+
+	mSpawns, mRestarts, mKills, mSteals, mResumed *obs.Counter
+}
+
+// Run executes the sharded sweep: resume from any prior incarnation's
+// journals, partition the remainder by digest, supervise the worker
+// fleet to completion, and merge. It is safe to kill the coordinator
+// at any point and call Run again (Generation+1): committed cells are
+// never recomputed.
+func Run(ctx context.Context, opt Options) (*Report, error) {
+	if opt.Shards <= 0 {
+		opt.Shards = 1
+	}
+	if opt.HeartbeatEvery <= 0 {
+		opt.HeartbeatEvery = 100 * time.Millisecond
+	}
+	if opt.StallAfter <= 0 {
+		opt.StallAfter = 5 * time.Second
+	}
+	if opt.RestartBase <= 0 {
+		opt.RestartBase = 50 * time.Millisecond
+	}
+	if opt.RestartCap <= 0 {
+		opt.RestartCap = 2 * time.Second
+	}
+	if opt.MaxRestarts <= 0 {
+		opt.MaxRestarts = 5
+	}
+	if opt.Log == nil {
+		opt.Log = slog.New(slog.DiscardHandler)
+	}
+	plan, err := NewPlan(opt.Spec)
+	if err != nil {
+		return nil, err
+	}
+	var inj *faultinject.Injector
+	if opt.Faults != "" {
+		if inj, err = faultinject.Parse(opt.Faults); err != nil {
+			return nil, err
+		}
+		inj.Bind(opt.Reg)
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+
+	c := &coordinator{
+		opt:       opt,
+		plan:      plan,
+		inj:       inj,
+		log:       opt.Log,
+		runID:     obs.TraceID("shard-run", plan.Cells[0].Digest),
+		committed: map[string]bool{},
+		exitCh:    make(chan exitEvent, opt.Shards*4),
+		rep:       &Report{Cells: len(plan.Cells), OutDir: filepath.Join(opt.Dir, "store")},
+		mSpawns:   opt.Reg.Counter("shard/spawns"),
+		mRestarts: opt.Reg.Counter("shard/restarts"),
+		mKills:    opt.Reg.Counter("shard/kills"),
+		mSteals:   opt.Reg.Counter("shard/steals"),
+		mResumed:  opt.Reg.Counter("shard/resumed_cells"),
+	}
+	return c.run(ctx)
+}
+
+func (c *coordinator) run(ctx context.Context) (*Report, error) {
+	// Resume: scan every prior worker journal read-only. Orphans of a
+	// crashed incarnation may still be appending — the scan never
+	// truncates, and this incarnation spawns into fresh directories,
+	// so no file is ever shared between two writers.
+	if err := c.rescan(); err != nil {
+		return nil, err
+	}
+	c.rep.Resumed = len(c.committed)
+	c.mResumed.Add(int64(c.rep.Resumed))
+	if c.rep.Resumed > 0 {
+		c.log.Info("shard resume", "committed", c.rep.Resumed, "cells", len(c.plan.Cells))
+	}
+
+	// Partition the outstanding cells by digest. Content-based
+	// placement is incarnation-stable: any coordinator derives the
+	// same home shard for every cell.
+	c.slots = make([]*slot, c.opt.Shards)
+	for i := range c.slots {
+		c.slots[i] = &slot{id: i}
+	}
+	for _, cell := range c.plan.Cells {
+		if c.committed[cell.Digest] {
+			continue
+		}
+		s := c.slots[ShardOf(cell.Digest, c.opt.Shards)]
+		s.pending = append(s.pending, cell)
+	}
+	for _, s := range c.slots {
+		c.opt.Trace.Emit(c.runID, obs.EvShardAssign, "", s.id, 0, fmt.Sprintf("%d:%d", s.id, len(s.pending)))
+		if len(s.pending) > 0 {
+			if err := c.spawn(s); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	tick := time.NewTicker(c.opt.HeartbeatEvery)
+	defer tick.Stop()
+	for !c.done() {
+		select {
+		case <-ctx.Done():
+			c.killAll()
+			return nil, ctx.Err()
+		case ev := <-c.exitCh:
+			if err := c.onExit(ev); err != nil {
+				return nil, err
+			}
+		case <-tick.C:
+			c.checkStalls()
+			c.respawnDue()
+			c.steal()
+			if err := c.deadlocked(); err != nil {
+				c.killAll()
+				return nil, err
+			}
+		}
+		// The injected coordinator crash fires only once real progress
+		// exists — resuming from zero would prove nothing. Workers are
+		// deliberately left running: the resumed incarnation must cope
+		// with orphans appending to their journals.
+		if c.progressed() && c.inj.Coord(c.opt.Generation) {
+			c.log.Warn("injected coordinator crash", "generation", c.opt.Generation)
+			return nil, ErrInjectedCrash
+		}
+	}
+
+	c.killAll()
+	rep, err := Merge(c.plan, c.opt.Dir, c.rep.OutDir, c.opt.Reg, c.opt.Trace)
+	if err != nil {
+		return nil, err
+	}
+	c.rep.Merge = rep
+	c.rep.Committed = len(c.committed) - c.rep.Resumed
+	return c.rep, nil
+}
+
+// rescan folds every shard journal's committed digests into the
+// committed set (read-only; safe against live appenders).
+func (c *coordinator) rescan() error {
+	dirs, err := shardDirs(c.opt.Dir)
+	if err != nil {
+		return err
+	}
+	for _, dir := range dirs {
+		entries, _, err := store.ReadJournal(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			c.committed[e.Digest] = true
+		}
+	}
+	return nil
+}
+
+// rescanSlot folds one exited spawn's journal into the committed set
+// and returns the slot's still-outstanding cells.
+func (c *coordinator) rescanSlot(s *slot) ([]Cell, error) {
+	entries, _, err := store.ReadJournal(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		c.committed[e.Digest] = true
+	}
+	var rest []Cell
+	for _, cell := range s.pending {
+		if !c.committed[cell.Digest] {
+			rest = append(rest, cell)
+		}
+	}
+	return rest, nil
+}
+
+// spawn launches one worker process for slot s covering s.pending.
+// Every spawn gets a fresh private directory — coordinator incarnation
+// and spawn sequence in the name — so no worker ever touches a file
+// its dead (or orphaned, or hung-but-not-yet-dead) predecessor might
+// still hold open, even across a coordinator crash+resume.
+func (c *coordinator) spawn(s *slot) error {
+	gen := s.restarts
+	dir := filepath.Join(c.opt.Dir, fmt.Sprintf("w-%04d-c%d-s%04d", s.id, c.opt.Generation, c.spawns))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	m := manifest{
+		Shard:            s.id,
+		Generation:       gen,
+		StoreDir:         dir,
+		Heartbeat:        filepath.Join(dir, "heartbeat.json"),
+		HeartbeatEveryNS: int64(c.opt.HeartbeatEvery),
+		Spec:             c.opt.Spec,
+		Cells:            s.pending,
+		Faults:           c.opt.Faults,
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("shard: encoding manifest: %w", err)
+	}
+	mpath := filepath.Join(dir, "manifest.json")
+	if err := os.WriteFile(mpath, data, 0o644); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), workerEnv+"="+mpath)
+	stderr, err := os.Create(filepath.Join(dir, "stderr.log"))
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		stderr.Close() //opmlint:allow errdiscard — best-effort scrap of the log handle; the start error is returned
+		return fmt.Errorf("shard: spawning worker %d: %w", s.id, err)
+	}
+	s.cmd, s.gen, s.dir = cmd, gen, dir
+	s.beatPath = m.Heartbeat
+	s.cells = s.pending
+	s.lastSeq = 0
+	s.lastBeat = time.Now() //opmlint:allow determinism — supervision clocks feed liveness policy only, never results; byte-identity is proven by the chaos suite
+	c.spawns++
+	c.rep.Spawns++
+	c.mSpawns.Inc()
+	c.log.Debug("shard spawn", "slot", s.id, "generation", gen, "cells", len(s.pending))
+	go func(id, gen int) {
+		err := cmd.Wait()
+		stderr.Close() //opmlint:allow errdiscard — log file close after the process died; nothing to recover
+		c.exitCh <- exitEvent{slot: id, gen: gen, err: err}
+	}(s.id, gen)
+	return nil
+}
+
+// onExit handles one worker exit: harvest its journal, requeue what it
+// still owed, and restart (with backoff) or retire the slot.
+func (c *coordinator) onExit(ev exitEvent) error {
+	s := c.slots[ev.slot]
+	if s.cmd == nil || s.gen != ev.gen {
+		return nil // stale exit of a spawn already superseded
+	}
+	s.cmd = nil
+	rest, err := c.rescanSlot(s)
+	if err != nil {
+		return err
+	}
+	s.pending = rest
+	if len(rest) == 0 {
+		if ev.err != nil {
+			c.log.Debug("shard worker exit after finishing", "slot", s.id, "err", ev.err)
+		}
+		return nil // slot idle; the steal pass may give it new work
+	}
+	cause := "exit"
+	if ev.err != nil {
+		cause = ev.err.Error()
+	}
+	s.restarts++
+	if s.restarts > c.opt.MaxRestarts {
+		// Dead shard: reassign its remainder across the surviving
+		// slots (digest order keeps the reassignment deterministic).
+		s.retired = true
+		c.rep.Retired++
+		c.log.Warn("shard slot retired", "slot", s.id, "restarts", s.restarts, "reassigned", len(rest))
+		c.opt.Trace.Emit(c.runID, obs.EvShardSteal, "", s.id, 0, fmt.Sprintf("%d:retired:%d", s.id, len(rest)))
+		return c.reassign(rest)
+	}
+	s.backoff = c.opt.RestartBase << (s.restarts - 1)
+	if s.backoff > c.opt.RestartCap {
+		s.backoff = c.opt.RestartCap
+	}
+	s.respawnAt = time.Now().Add(s.backoff) //opmlint:allow determinism — supervision clocks feed liveness policy only, never results
+	c.rep.Restarts++
+	c.mRestarts.Inc()
+	c.opt.Trace.Emit(c.runID, obs.EvShardRestart, "", s.id, s.backoff, fmt.Sprintf("%d:%d:%s", s.id, s.restarts, cause))
+	c.log.Info("shard worker died, restart scheduled", "slot", s.id, "generation", ev.gen,
+		"cause", cause, "backoff", s.backoff, "remaining", len(rest))
+	return nil
+}
+
+// respawnDue launches the restarts whose backoff has elapsed.
+func (c *coordinator) respawnDue() {
+	now := time.Now() //opmlint:allow determinism — supervision clocks feed liveness policy only, never results
+	for _, s := range c.slots {
+		if s.cmd == nil && !s.retired && len(s.pending) > 0 && !now.Before(s.respawnAt) {
+			if err := c.spawn(s); err != nil {
+				// Spawn failures feed the same restart ladder as
+				// crashes; the deadlock guard catches the terminal case.
+				c.log.Warn("shard respawn failed", "slot", s.id, "err", err)
+				s.restarts++
+			}
+		}
+	}
+}
+
+// checkStalls kills workers whose heartbeat Seq has frozen for longer
+// than StallAfter. The kill produces a normal exit event, so recovery
+// rides the existing restart path.
+func (c *coordinator) checkStalls() {
+	now := time.Now() //opmlint:allow determinism — supervision clocks feed liveness policy only, never results
+	for _, s := range c.slots {
+		if s.cmd == nil {
+			continue
+		}
+		if b, ok := readBeat(s.beatPath); ok && b.Seq > s.lastSeq {
+			s.lastSeq, s.lastBeat = b.Seq, now
+			continue
+		}
+		if now.Sub(s.lastBeat) > c.opt.StallAfter {
+			c.log.Warn("shard worker stalled, killing", "slot", s.id, "generation", s.gen,
+				"stalled_for", now.Sub(s.lastBeat))
+			c.rep.Kills++
+			c.mKills.Inc()
+			s.cmd.Process.Kill() //opmlint:allow errdiscard — the process may have exited between the stall check and the kill; either way the Wait goroutine reports it
+			s.lastBeat = now     // one kill per stall; the exit event resets the slot
+		}
+	}
+}
+
+// steal moves the tail half of the slowest running slot's remaining
+// cells onto an idle slot. The victim keeps computing its full list —
+// the duplicate work is deliberate (first commit wins nothing; the
+// copies are byte-identical and the merge dedupes them), because
+// cancelling remotely would race the victim's own progress.
+func (c *coordinator) steal() {
+	var idle *slot
+	for _, s := range c.slots {
+		if s.cmd == nil && !s.retired && len(s.pending) == 0 {
+			idle = s
+			break
+		}
+	}
+	if idle == nil {
+		return
+	}
+	var victim *slot
+	victimRest := 0
+	for _, s := range c.slots {
+		if s.cmd == nil {
+			continue
+		}
+		b, ok := readBeat(s.beatPath)
+		if !ok {
+			continue
+		}
+		if rest := len(s.cells) - b.Next; rest > victimRest {
+			victim, victimRest = s, rest
+		}
+	}
+	// Stealing one or two cells churns processes for nothing; require
+	// enough of a tail that halving it plausibly helps.
+	if victim == nil || victimRest < 4 {
+		return
+	}
+	cut := len(victim.cells) - victimRest/2
+	stolen := victim.cells[cut:]
+	idle.pending = append([]Cell(nil), stolen...)
+	c.rep.Steals++
+	c.mSteals.Inc()
+	c.opt.Trace.Emit(c.runID, obs.EvShardSteal, "", idle.id, 0, fmt.Sprintf("%d:%d:%d", victim.id, idle.id, len(stolen)))
+	c.log.Info("shard steal", "from", victim.id, "to", idle.id, "cells", len(stolen))
+	if err := c.spawn(idle); err != nil {
+		c.log.Warn("shard steal spawn failed", "to", idle.id, "err", err)
+		idle.pending = nil
+	}
+}
+
+// done reports whether every plan cell is committed. It reads only the
+// committed set, which exit events and rescans maintain; live workers'
+// commits surface when their process exits.
+func (c *coordinator) done() bool {
+	return len(c.committed) >= len(c.plan.Cells)
+}
+
+// progressed reports whether this incarnation has observed any commit
+// beyond what it resumed with — the gate on the injected crash.
+func (c *coordinator) progressed() bool {
+	return len(c.committed) > c.rep.Resumed
+}
+
+// reassign spreads a retired slot's cells across the surviving slots'
+// pending queues (their next respawn picks them up); with no survivor
+// the deadlock guard will surface the failure.
+func (c *coordinator) reassign(cells []Cell) error {
+	var alive []*slot
+	for _, s := range c.slots {
+		if !s.retired {
+			alive = append(alive, s)
+		}
+	}
+	if len(alive) == 0 {
+		return fmt.Errorf("shard: all %d shards retired with %d cells outstanding", len(c.slots), len(cells))
+	}
+	for i, cell := range cells {
+		s := alive[i%len(alive)]
+		s.pending = append(s.pending, cell)
+	}
+	return nil
+}
+
+// deadlocked detects the terminal state: outstanding work, but no
+// running worker and nothing eligible to spawn.
+func (c *coordinator) deadlocked() error {
+	outstanding := len(c.plan.Cells) - len(c.committed)
+	if outstanding == 0 {
+		return nil
+	}
+	for _, s := range c.slots {
+		if s.cmd != nil || (!s.retired && len(s.pending) > 0) {
+			return nil
+		}
+	}
+	return fmt.Errorf("shard: %d cells outstanding but every shard is retired or idle", outstanding)
+}
+
+// killAll terminates the remaining workers and drains their exit
+// events (harvesting final journals), so the merge reads only files no
+// live process is appending to.
+func (c *coordinator) killAll() {
+	live := 0
+	for _, s := range c.slots {
+		if s.cmd != nil {
+			live++
+			s.cmd.Process.Kill() //opmlint:allow errdiscard — the worker may already be exiting; the Wait goroutine reports either way
+		}
+	}
+	for live > 0 {
+		ev := <-c.exitCh
+		s := c.slots[ev.slot]
+		if s.cmd != nil && s.gen == ev.gen {
+			s.cmd = nil
+			live--
+			if rest, err := c.rescanSlot(s); err == nil {
+				s.pending = rest
+			}
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// beat is a worker's liveness record, rewritten atomically (temp file
+// + rename) so the coordinator never reads a half-written one. Seq
+// strictly increases while the worker is making progress — including
+// *within* one long-running cell, because the beater goroutine keeps
+// ticking while the compute runs — so a stalled Seq means the process
+// is hung (or dead), not merely slow.
+type beat struct {
+	// Seq increases on every heartbeat tick and every state change.
+	Seq int64 `json:"seq"`
+	// Next is the index into the worker's manifest cell list it is
+	// computing (== len(cells) when the list is exhausted). The
+	// coordinator's work stealing reads it to find the slowest shard.
+	Next int `json:"next"`
+	// Committed and Failed count cells this worker finished.
+	Committed int `json:"committed"`
+	Failed    int `json:"failed"`
+	// Done means the worker finished its list and is about to exit.
+	Done bool `json:"done"`
+}
+
+// writeBeat atomically replaces the heartbeat file.
+func writeBeat(path string, b beat) error {
+	data, err := json.Marshal(b)
+	if err != nil {
+		return fmt.Errorf("shard: encoding heartbeat: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp) //opmlint:allow errdiscard — best-effort scrap of the temp file; the rename error is returned
+		return fmt.Errorf("shard: %w", err)
+	}
+	return nil
+}
+
+// readBeat returns the worker's last heartbeat, or false when the file
+// does not exist yet (worker spawned but not started) or is unreadable
+// (treated as no progress — staleness detection will handle it).
+func readBeat(path string) (beat, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return beat{}, false
+	}
+	var b beat
+	if err := json.Unmarshal(data, &b); err != nil {
+		return beat{}, false
+	}
+	return b, true
+}

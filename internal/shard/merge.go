@@ -1,0 +1,181 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// MergeReport tallies one merge pass over the shard journals.
+type MergeReport struct {
+	// Cells is the number of plan cells folded into the canonical
+	// store; Duplicates counts extra byte-identical copies (work
+	// stealing and restarts legitimately compute a cell twice).
+	Cells      int
+	Duplicates int
+	// Quarantined counts digests whose shards disagree on the payload
+	// bytes. Disagreement means nondeterminism or corruption the CRC
+	// missed — there is no safe winner, so the variants go to
+	// quarantine.json and the digest is excluded from the canonical
+	// store.
+	Quarantined int
+	// Torn and Corrupt aggregate the damage the read-only scans
+	// stepped over across all shard journals.
+	Torn    int64
+	Corrupt int
+}
+
+// quarantineRecord is one conflicting digest in quarantine.json.
+type quarantineRecord struct {
+	Digest   string            `json:"digest"`
+	Exp      string            `json:"exp"`
+	Key      string            `json:"key"`
+	Variants []json.RawMessage `json:"variants"`
+}
+
+// variant is one distinct payload observed for a digest.
+type variant struct {
+	data   json.RawMessage
+	exp    string
+	key    string
+	copies int
+}
+
+// Merge folds every shard journal under runDir into one canonical
+// store at outDir, committing in plan order so the merged journal is
+// byte-identical to what a sequential run writes. Shard journals are
+// scanned read-only (orphaned workers may still be appending); the
+// canonical store is built in a temp directory and renamed into place,
+// so a crash mid-merge costs only a redo. Missing cells are an error —
+// the coordinator calls Merge only once everything is committed.
+func Merge(p *Plan, runDir, outDir string, reg *obs.Registry, tr *obs.Tracer) (MergeReport, error) {
+	var rep MergeReport
+	dirs, err := shardDirs(runDir)
+	if err != nil {
+		return rep, err
+	}
+	byDigest := map[string][]*variant{}
+	for _, dir := range dirs {
+		entries, st, err := store.ReadJournal(dir)
+		if err != nil {
+			return rep, err
+		}
+		rep.Torn += st.TruncatedBytes
+		rep.Corrupt += st.Corrupt
+		for _, e := range entries {
+			vs := byDigest[e.Digest]
+			found := false
+			for _, v := range vs {
+				if bytes.Equal(v.data, e.Data) {
+					v.copies++
+					found = true
+					break
+				}
+			}
+			if !found {
+				byDigest[e.Digest] = append(vs, &variant{data: e.Data, exp: e.Exp, key: e.Key, copies: 1})
+			}
+		}
+	}
+
+	tmp := outDir + ".tmp"
+	if err := os.RemoveAll(tmp); err != nil {
+		return rep, fmt.Errorf("shard: %w", err)
+	}
+	st, err := store.Open(tmp, reg)
+	if err != nil {
+		return rep, err
+	}
+	var quarantined []quarantineRecord
+	mCells := reg.Counter("shard/merge_cells")
+	mDup := reg.Counter("shard/merge_duplicates")
+	mQuar := reg.Counter("shard/merge_quarantined")
+	for _, c := range p.Cells {
+		vs := byDigest[c.Digest]
+		if len(vs) == 0 {
+			st.Close() //opmlint:allow errdiscard — best-effort scrap of the temp store; the missing-cell error is returned
+			return rep, fmt.Errorf("shard: merge: cell %s fp=%d (digest %.12s) missing from every shard journal", c.Kernel, c.FP, c.Digest)
+		}
+		copies := 0
+		for _, v := range vs {
+			copies += v.copies
+		}
+		rep.Duplicates += copies - 1
+		if len(vs) > 1 {
+			// Conflicting bytes under one content address: no winner
+			// exists. Preserve every variant for forensics and keep
+			// the canonical store free of the doubt.
+			q := quarantineRecord{Digest: c.Digest, Exp: c.Exp, Key: c.Key}
+			for _, v := range vs {
+				q.Variants = append(q.Variants, v.data)
+			}
+			sort.Slice(q.Variants, func(i, j int) bool { return bytes.Compare(q.Variants[i], q.Variants[j]) < 0 })
+			quarantined = append(quarantined, q)
+			rep.Quarantined++
+			mQuar.Inc()
+			tr.Emit(harness.CellTraceID(c.Digest), obs.EvShardMerge, c.Kernel+"|"+c.Key, -1, 0, "quarantined")
+			continue
+		}
+		// json.Marshal of a RawMessage is the bytes verbatim, so this
+		// Put journals exactly what the worker's Put journaled — which
+		// is exactly what a sequential run's Put journals.
+		if err := st.Put(c.Digest, vs[0].exp, vs[0].key, vs[0].data); err != nil {
+			st.Close() //opmlint:allow errdiscard — best-effort scrap of the temp store; the put error is returned
+			return rep, err
+		}
+		rep.Cells++
+		mCells.Inc()
+		if copies > 1 {
+			mDup.Add(int64(copies - 1))
+			tr.Emit(harness.CellTraceID(c.Digest), obs.EvShardMerge, c.Kernel+"|"+c.Key, -1, 0, fmt.Sprintf("duplicates=%d", copies-1))
+		} else {
+			tr.Emit(harness.CellTraceID(c.Digest), obs.EvShardMerge, c.Kernel+"|"+c.Key, -1, 0, "")
+		}
+	}
+	if err := st.Close(); err != nil {
+		return rep, err
+	}
+	if len(quarantined) > 0 {
+		qdata, err := json.MarshalIndent(quarantined, "", "  ")
+		if err != nil {
+			return rep, fmt.Errorf("shard: encoding quarantine: %w", err)
+		}
+		if err := os.WriteFile(filepath.Join(runDir, "quarantine.json"), qdata, 0o644); err != nil {
+			return rep, fmt.Errorf("shard: %w", err)
+		}
+	}
+	// Atomic publish: the canonical store either exists complete or
+	// not at all. A pre-existing outDir is a prior (equally complete)
+	// merge a crashed coordinator already published — replace it.
+	if err := os.RemoveAll(outDir); err != nil {
+		return rep, fmt.Errorf("shard: %w", err)
+	}
+	if err := os.Rename(tmp, outDir); err != nil {
+		return rep, fmt.Errorf("shard: %w", err)
+	}
+	return rep, nil
+}
+
+// shardDirs lists every worker store directory under runDir in sorted
+// (spawn) order.
+func shardDirs(runDir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(runDir, "w-*"))
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	var dirs []string
+	for _, m := range matches {
+		if fi, err := os.Stat(m); err == nil && fi.IsDir() {
+			dirs = append(dirs, m)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

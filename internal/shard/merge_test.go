@@ -1,0 +1,239 @@
+package shard_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/shard"
+	"repro/internal/store"
+)
+
+// fakePlan builds a synthetic plan of n cells — Merge only consumes
+// the cell list, so merge unit tests need no simulator.
+func fakePlan(n int) *shard.Plan {
+	p := &shard.Plan{}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("cell-%03d", i)
+		p.Cells = append(p.Cells, shard.Cell{
+			Kernel: "Fake",
+			FP:     int64(i),
+			Digest: store.Digest("v", "cfg", "fake", key),
+			Exp:    "fake",
+			Key:    key,
+		})
+	}
+	return p
+}
+
+// writeShard journals the given cells (by index, with value payloads)
+// into a worker-style directory under runDir.
+func writeShard(t *testing.T, runDir, name string, p *shard.Plan, idx []int, val func(int) any) string {
+	t.Helper()
+	dir := filepath.Join(runDir, name)
+	st, err := store.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range idx {
+		c := p.Cells[i]
+		if err := st.Put(c.Digest, c.Exp, c.Key, val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+type fakeCell struct {
+	V int
+	S string
+}
+
+// TestMergeDedupesAndOrders checks the happy path: overlapping shards
+// (work stealing legitimately duplicates cells) merge to one canonical
+// store in plan order, duplicates counted, nothing quarantined.
+func TestMergeDedupesAndOrders(t *testing.T) {
+	p := fakePlan(6)
+	run := t.TempDir()
+	val := func(i int) any { return fakeCell{V: i, S: "payload"} }
+	writeShard(t, run, "w-0000-c0-s0000", p, []int{3, 0, 5}, val)
+	writeShard(t, run, "w-0001-c0-s0001", p, []int{1, 4, 3, 2}, val) // 3 duplicated
+
+	out := filepath.Join(run, "store")
+	rep, err := shard.Merge(p, run, out, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells != 6 || rep.Duplicates != 1 || rep.Quarantined != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+
+	// Canonical order and bytes must match a direct plan-order write.
+	want := t.TempDir()
+	st, err := store.Open(want, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range p.Cells {
+		if err := st.Put(c.Digest, c.Exp, c.Key, val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	gotJ, _ := os.ReadFile(filepath.Join(out, "journal"))
+	wantJ, _ := os.ReadFile(filepath.Join(want, "journal"))
+	if !bytes.Equal(gotJ, wantJ) {
+		t.Fatal("merged journal is not byte-identical to a plan-order write")
+	}
+}
+
+// TestMergeQuarantinesConflicts checks the conflict rule: when two
+// shards journal different bytes under one digest, the merge refuses
+// to pick a winner — the digest is excluded from the canonical store
+// and every variant lands in quarantine.json.
+func TestMergeQuarantinesConflicts(t *testing.T) {
+	p := fakePlan(3)
+	run := t.TempDir()
+	writeShard(t, run, "w-0000-c0-s0000", p, []int{0, 1, 2}, func(i int) any { return fakeCell{V: i} })
+	writeShard(t, run, "w-0001-c0-s0001", p, []int{1}, func(i int) any { return fakeCell{V: -1} })
+
+	out := filepath.Join(run, "store")
+	rep, err := shard.Merge(p, run, out, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells != 2 || rep.Quarantined != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	st, err := store.Open(out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, ok := st.GetRaw(p.Cells[1].Digest); ok {
+		t.Fatal("quarantined digest reached the canonical store")
+	}
+	if _, ok := st.GetRaw(p.Cells[0].Digest); !ok {
+		t.Fatal("clean digest missing from the canonical store")
+	}
+
+	qdata, err := os.ReadFile(filepath.Join(run, "quarantine.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q []struct {
+		Digest   string            `json:"digest"`
+		Key      string            `json:"key"`
+		Variants []json.RawMessage `json:"variants"`
+	}
+	if err := json.Unmarshal(qdata, &q); err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 1 || q[0].Digest != p.Cells[1].Digest || len(q[0].Variants) != 2 {
+		t.Fatalf("quarantine.json: %s", qdata)
+	}
+}
+
+// TestMergeMissingCellFails checks the merge refuses to publish a
+// partial canonical store: a plan cell no shard journaled is an error,
+// and no output directory appears.
+func TestMergeMissingCellFails(t *testing.T) {
+	p := fakePlan(3)
+	run := t.TempDir()
+	writeShard(t, run, "w-0000-c0-s0000", p, []int{0, 2}, func(i int) any { return fakeCell{V: i} })
+
+	out := filepath.Join(run, "store")
+	_, err := shard.Merge(p, run, out, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("want missing-cell error, got %v", err)
+	}
+	if _, serr := os.Stat(out); !os.IsNotExist(serr) {
+		t.Fatal("failed merge published an output directory")
+	}
+}
+
+// TestMergeToleratesTornShardTail checks a shard journal with a torn
+// tail (worker crashed mid-append) merges fine from its intact prefix
+// — and the merge never repairs the damaged file.
+func TestMergeToleratesTornShardTail(t *testing.T) {
+	p := fakePlan(4)
+	run := t.TempDir()
+	val := func(i int) any { return fakeCell{V: i} }
+	dirA := writeShard(t, run, "w-0000-c0-s0000", p, []int{0, 1}, val)
+	writeShard(t, run, "w-0001-c0-s0001", p, []int{2, 3}, val)
+
+	jpath := filepath.Join(dirA, "journal")
+	f, err := os.OpenFile(jpath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], 64<<10)
+	if _, err := f.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	damaged, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := shard.Merge(p, run, filepath.Join(run, "store"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells != 4 || rep.Torn != int64(len(hdr)) {
+		t.Fatalf("report: %+v", rep)
+	}
+	after, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, damaged) {
+		t.Fatal("merge repaired a shard journal it must only read")
+	}
+}
+
+// BenchmarkShardMerge measures the merge path end to end: scanning 4
+// shard journals of 250 cells each and writing the canonical store.
+// This is the coordinator's serial tail, so a regression here delays
+// every sharded sweep's publish.
+func BenchmarkShardMerge(b *testing.B) {
+	p := fakePlan(1000)
+	run := b.TempDir()
+	for s := 0; s < 4; s++ {
+		dir := filepath.Join(run, fmt.Sprintf("w-%04d-c0-s%04d", s, s))
+		st, err := store.Open(dir, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := s; i < len(p.Cells); i += 4 {
+			c := p.Cells[i]
+			if err := st.Put(c.Digest, c.Exp, c.Key, fakeCell{V: i, S: strings.Repeat("x", 160)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	out := filepath.Join(run, "store")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := shard.Merge(p, run, out, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

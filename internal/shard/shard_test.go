@@ -1,0 +1,210 @@
+package shard_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// TestMain hooks the re-exec protocol into the test binary: when the
+// coordinator under test spawns a worker, the child is THIS binary,
+// and RunWorkerEnv diverts it into the worker loop before any test
+// runs. This is exactly the wiring cmd/opmshard has in production.
+func TestMain(m *testing.M) {
+	shard.RunWorkerEnv()
+	os.Exit(m.Run())
+}
+
+// twinSpec is the chaos suite's standard plan: the full curve roster
+// on the quick grid under the analytic twin, so one cell costs
+// microseconds and a test can afford dozens of process spawns.
+func twinSpec() shard.Spec {
+	return shard.Spec{Platform: "broadwell", Estimator: "twin"}
+}
+
+// fastOpts returns coordinator options tuned for tests: tight
+// heartbeats and backoffs so injected failures resolve in tens of
+// milliseconds, and a stall window generous enough to never
+// false-positive on a loaded CI machine.
+func fastOpts(spec shard.Spec, dir, faults string) shard.Options {
+	return shard.Options{
+		Spec:           spec,
+		Dir:            dir,
+		Shards:         3,
+		Faults:         faults,
+		HeartbeatEvery: 20 * time.Millisecond,
+		StallAfter:     time.Second,
+		RestartBase:    10 * time.Millisecond,
+		RestartCap:     200 * time.Millisecond,
+		MaxRestarts:    8,
+	}
+}
+
+// storeBytes reads a store directory's journal and index — the two
+// files the byte-identity contract covers.
+func storeBytes(t *testing.T, dir string) (journal, index []byte) {
+	t.Helper()
+	journal, err := os.ReadFile(filepath.Join(dir, "journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, err = os.ReadFile(filepath.Join(dir, "index.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return journal, index
+}
+
+// seqBaseline computes the plan sequentially and returns the baseline
+// store bytes every sharded run must reproduce exactly.
+func seqBaseline(t *testing.T, spec shard.Spec) (journal, index []byte) {
+	t.Helper()
+	p, err := shard.NewPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := shard.RunSequential(context.Background(), p, dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	return storeBytes(t, dir)
+}
+
+// requireIdentical asserts the merged store is byte-identical to the
+// sequential baseline — journal and index both.
+func requireIdentical(t *testing.T, spec shard.Spec, mergedDir string) {
+	t.Helper()
+	wantJ, wantI := seqBaseline(t, spec)
+	gotJ, gotI := storeBytes(t, mergedDir)
+	if !bytes.Equal(gotJ, wantJ) {
+		t.Fatalf("merged journal diverges from sequential baseline (%d vs %d bytes)", len(gotJ), len(wantJ))
+	}
+	if !bytes.Equal(gotI, wantI) {
+		t.Fatalf("merged index diverges from sequential baseline (%d vs %d bytes)", len(gotI), len(wantI))
+	}
+}
+
+// TestPlanDeterministic checks the plan is a pure function of the
+// spec: two builds agree cell for cell, digests are unique, and the
+// order is canonical (kernels in roster order, footprints ascending).
+func TestPlanDeterministic(t *testing.T) {
+	a, err := shard.NewPlan(twinSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := shard.NewPlan(twinSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != len(b.Cells) || len(a.Cells) == 0 {
+		t.Fatalf("plan sizes: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	seen := map[string]bool{}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Fatalf("cell %d differs: %+v vs %+v", i, a.Cells[i], b.Cells[i])
+		}
+		if seen[a.Cells[i].Digest] {
+			t.Fatalf("duplicate digest at cell %d", i)
+		}
+		seen[a.Cells[i].Digest] = true
+		if i > 0 && a.Cells[i].Kernel == a.Cells[i-1].Kernel && a.Cells[i].FP <= a.Cells[i-1].FP {
+			t.Fatalf("footprints not ascending within kernel at cell %d", i)
+		}
+	}
+
+	// A bad kernel or platform fails at plan time, not in a worker.
+	if _, err := shard.NewPlan(shard.Spec{Platform: "broadwell", Kernels: []string{"Nope"}}); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	if _, err := shard.NewPlan(shard.Spec{Platform: "mystery"}); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+// TestShardOfPartition checks digest placement: stable, in range, and
+// spread across shards (content-hashed digests cannot all collapse
+// onto one shard).
+func TestShardOfPartition(t *testing.T) {
+	p, err := shard.NewPlan(twinSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	counts := make([]int, n)
+	for _, c := range p.Cells {
+		s := shard.ShardOf(c.Digest, n)
+		if s != shard.ShardOf(c.Digest, n) {
+			t.Fatal("placement not stable")
+		}
+		if s < 0 || s >= n {
+			t.Fatalf("shard %d out of range", s)
+		}
+		counts[s]++
+	}
+	populated := 0
+	for _, c := range counts {
+		if c > 0 {
+			populated++
+		}
+	}
+	if populated < 2 {
+		t.Fatalf("all %d cells landed on one shard: %v", len(p.Cells), counts)
+	}
+	if shard.ShardOf(p.Cells[0].Digest, 1) != 0 || shard.ShardOf(p.Cells[0].Digest, 0) != 0 {
+		t.Fatal("degenerate shard counts must map to 0")
+	}
+}
+
+// TestSequentialResume checks RunSequential's trivial resume: a second
+// run over the same store recomputes nothing and leaves the bytes
+// untouched.
+func TestSequentialResume(t *testing.T) {
+	spec := shard.Spec{Platform: "broadwell", Kernels: []string{"Stream"}, Points: 4, Estimator: "twin"}
+	p, err := shard.NewPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := shard.RunSequential(context.Background(), p, dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	j1, i1 := storeBytes(t, dir)
+	if err := shard.RunSequential(context.Background(), p, dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	j2, i2 := storeBytes(t, dir)
+	if !bytes.Equal(j1, j2) || !bytes.Equal(i1, i2) {
+		t.Fatal("sequential resume rewrote store bytes")
+	}
+}
+
+// TestShardedCleanByteIdentity is the no-fault half of the contract:
+// a 3-shard run with healthy workers merges to exactly the sequential
+// bytes.
+func TestShardedCleanByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes; excluded from the quick tier")
+	}
+	spec := twinSpec()
+	dir := t.TempDir()
+	rep, err := shard.Run(context.Background(), fastOpts(spec, dir, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Merge.Quarantined != 0 {
+		t.Fatalf("clean run quarantined %d cells", rep.Merge.Quarantined)
+	}
+	if rep.Committed+rep.Resumed != rep.Cells || rep.Merge.Cells != rep.Cells {
+		t.Fatalf("report inconsistent: %+v", rep)
+	}
+	if rep.Spawns < 2 {
+		t.Fatalf("expected a multi-process run, got %d spawns", rep.Spawns)
+	}
+	requireIdentical(t, spec, rep.OutDir)
+}

@@ -1,0 +1,96 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Entry is one live journal record as a read-only scan sees it: the
+// content address, its human-readable provenance, and the cached
+// result bytes verbatim.
+type Entry struct {
+	Digest string
+	Exp    string
+	Key    string
+	Data   json.RawMessage
+}
+
+// ReadStats is the damage tally of one read-only journal scan. The
+// fields mirror Stats but count only what this scan observed — nothing
+// is repaired, truncated, or set aside.
+type ReadStats struct {
+	// Entries is the number of live records returned (after
+	// superseding: a digest committed twice counts once).
+	Entries int
+	// Superseded counts records shadowed by a later commit to the same
+	// digest within this journal.
+	Superseded int
+	// Corrupt counts interior records whose checksum or JSON failed;
+	// Stale counts version-mismatched records, or 1 for a whole journal
+	// whose magic line is foreign (no records are returned then).
+	Corrupt, Stale int
+	// TruncatedBytes is the length of the unreadable tail — torn bytes
+	// a crashed writer left behind, or bytes a live writer is still
+	// appending. A read-only scan leaves them on disk untouched.
+	TruncatedBytes int64
+}
+
+// ReadJournal scans the journal in dir without opening the store: no
+// truncation, no repair, no write handle. This is the only safe way to
+// observe a journal another process may still be appending to — a
+// shard coordinator resuming after a crash reads orphaned workers'
+// journals this way, where Open's torn-tail truncation would corrupt a
+// file mid-append. Entries come back in first-commit order with later
+// same-digest commits superseding earlier ones, exactly as Open's
+// replay would index them. A missing journal (or missing dir) is an
+// empty store, not an error.
+func ReadJournal(dir string) ([]Entry, ReadStats, error) {
+	var st ReadStats
+	f, err := os.Open(filepath.Join(dir, journalName))
+	if os.IsNotExist(err) {
+		return nil, st, nil
+	}
+	if err != nil {
+		return nil, st, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, st, fmt.Errorf("store: %w", err)
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, st, nil
+	}
+	magic := make([]byte, len(journalMagic))
+	//opmlint:allow errdiscard — a short read and a read error mean the same thing here: no trustable magic, reported as a stale journal
+	if n, _ := f.ReadAt(magic, 0); n < len(journalMagic) || string(magic) != journalMagic {
+		st.Stale = 1
+		return nil, st, nil
+	}
+	if _, err := f.Seek(int64(len(journalMagic)), 0); err != nil {
+		return nil, st, fmt.Errorf("store: %w", err)
+	}
+	out := scanJournal(f, int64(len(journalMagic)), size-int64(len(journalMagic)))
+
+	index := make(map[string]int, len(out.entries))
+	var live []Entry
+	for _, e := range out.entries {
+		ne := Entry{Digest: e.Digest, Exp: e.Exp, Key: e.Key, Data: e.Data}
+		if i, ok := index[e.Digest]; ok {
+			st.Superseded++
+			live[i] = ne
+			continue
+		}
+		index[e.Digest] = len(live)
+		live = append(live, ne)
+	}
+	st.Entries = len(live)
+	st.Corrupt = out.corrupt
+	st.Stale += out.stale
+	st.TruncatedBytes = out.truncated
+	return live, st, nil
+}

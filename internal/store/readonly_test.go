@@ -1,0 +1,152 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReadJournalMatchesReplay checks the read-only scan returns the
+// same live set, in the same first-commit order and with the same
+// payload bytes, as Open's replay would index — the property the shard
+// merge's byte-identity rests on.
+func TestReadJournalMatchesReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, nil)
+	for i, key := range []string{"a", "b", "c"} {
+		d := Digest("v", "cfg", "fam", key)
+		if err := s.Put(d, "fam", key, payload{GFlops: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Supersede "a": the scan must return the later bytes, once, in
+	// the original first-commit position.
+	da := Digest("v", "cfg", "fam", "a")
+	if err := s.Put(da, "fam", "a", payload{GFlops: 99}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scan while the writer still has the journal open — every Put is
+	// one complete write(2), so the live file is always scannable.
+	entries, st, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 3 || st.Superseded != 1 || st.Corrupt != 0 || st.Stale != 0 || st.TruncatedBytes != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	wantOrder := []string{"a", "b", "c"}
+	for i, e := range entries {
+		if e.Key != wantOrder[i] || e.Exp != "fam" {
+			t.Fatalf("entry %d = %s/%s, want fam/%s", i, e.Exp, e.Key, wantOrder[i])
+		}
+	}
+	var got payload
+	if err := json.Unmarshal(entries[0].Data, &got); err != nil || got.GFlops != 99 {
+		t.Fatalf("superseded entry not replaced: %+v err=%v", got, err)
+	}
+
+	// Cross-check against the replay path byte for byte.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, dir, nil)
+	defer s2.Close()
+	for _, e := range entries {
+		raw, ok := s2.GetRaw(e.Digest)
+		if !ok {
+			t.Fatalf("replay missing %s", e.Digest)
+		}
+		if !bytes.Equal(raw, e.Data) {
+			t.Fatalf("payload bytes diverge for %s: %s vs %s", e.Key, raw, e.Data)
+		}
+	}
+}
+
+// TestReadJournalNeverRepairs checks the scan observes damage without
+// touching the file: a torn tail and an interior bit flip are counted,
+// the file's bytes stay identical, and a second scan agrees — the
+// guarantee that makes it safe to read a journal an orphaned worker is
+// still appending to.
+func TestReadJournalNeverRepairs(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, nil)
+	for _, key := range []string{"x", "y"} {
+		if err := s.Put(Digest(key), "e", key, payload{GFlops: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, journalName)
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload bit inside the first record (past magic + header)
+	// and append half a frame at the tail, like a writer crashed
+	// mid-append.
+	damaged := append([]byte(nil), before...)
+	damaged[len(journalMagic)+frameHeaderLen+2] ^= 0x40
+	torn := make([]byte, frameHeaderLen+3)
+	binary.BigEndian.PutUint32(torn[0:4], 1000) // claims more bytes than exist
+	damaged = append(damaged, torn...)
+	if err := os.WriteFile(path, damaged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for pass := 0; pass < 2; pass++ {
+		entries, st, err := ReadJournal(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Entries != 1 || st.Corrupt != 1 || st.TruncatedBytes != int64(len(torn)) {
+			t.Fatalf("pass %d stats: %+v", pass, st)
+		}
+		if len(entries) != 1 || entries[0].Key != "y" {
+			t.Fatalf("pass %d: surviving entries %+v", pass, entries)
+		}
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, damaged) {
+		t.Fatal("read-only scan modified the journal")
+	}
+}
+
+// TestReadJournalMissingAndForeign pins the edge cases: a missing dir
+// or journal is an empty store (not an error), an empty file likewise,
+// and a foreign magic line reports one stale journal without setting
+// the file aside the way Open's recovery would.
+func TestReadJournalMissingAndForeign(t *testing.T) {
+	if entries, st, err := ReadJournal(filepath.Join(t.TempDir(), "never-created")); err != nil || len(entries) != 0 || st != (ReadStats{}) {
+		t.Fatalf("missing dir: entries=%v stats=%+v err=%v", entries, st, err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, journalName)
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if entries, st, err := ReadJournal(dir); err != nil || len(entries) != 0 || st != (ReadStats{}) {
+		t.Fatalf("empty journal: entries=%v stats=%+v err=%v", entries, st, err)
+	}
+
+	if err := os.WriteFile(path, []byte("NOTASTORE9\nwhatever"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, st, err := ReadJournal(dir)
+	if err != nil || len(entries) != 0 || st.Stale != 1 {
+		t.Fatalf("foreign journal: entries=%v stats=%+v err=%v", entries, st, err)
+	}
+	if _, err := os.Stat(path + ".old"); !os.IsNotExist(err) {
+		t.Fatal("read-only scan set the foreign journal aside")
+	}
+}

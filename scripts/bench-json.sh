@@ -66,6 +66,7 @@ bench .                 'BenchmarkObsOverhead$' 1x
 bench .                 'BenchmarkTraceOverhead$' 1x
 bench .                 'BenchmarkStoreWarmVsCold$' 1x
 bench ./internal/serve  'BenchmarkServeHotPath$' 1s
+bench ./internal/shard  'BenchmarkShardMerge$' 5x
 
 # test2json wraps stdout writes in Output actions, and one benchmark
 # result line spans several of them (the name is printed before the

@@ -71,3 +71,11 @@ scripts/bench-json.sh -check
 echo "== chaos suite (go test -race, fixed fault seeds)"
 go test -race -count=1 -run 'TestChaos|TestTornWrites|TestCorruptWrites|TestStoreChaos' \
 	./internal/harness ./internal/store
+
+# Process-chaos gate: sharded sweeps under injected worker kill -9,
+# hangs, torn shard-journal tails and a coordinator crash+resume must
+# merge to a store byte-identical to the sequential run
+# (TestChaosGateShardedByteIdentity is the acceptance assertion; the
+# suite spawns real re-exec'd worker processes).
+echo "== process-chaos suite (go test -race ./internal/shard)"
+go test -race -count=1 ./internal/shard
