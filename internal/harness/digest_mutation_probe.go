@@ -1,0 +1,43 @@
+//go:build opmlint_digest_mutation
+
+package harness
+
+// This file exists only under the opmlint_digest_mutation build tag:
+// it is the digestpure check's mutation test. mutatedEstimator
+// implements core.Estimator with a Version() that reads the wall
+// clock — precisely the impurity a digest must never depend on. It is
+// reachable from the real digest root CellDigest only through
+// interface dispatch (estimatorDigestIdentity calls est.Version()),
+// so the lint suite loading this tag proves the interprocedural
+// closure covers interface-method expansion, not just direct calls.
+// Nothing constructs the type; reachability is the point.
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+type mutatedEstimator struct{}
+
+var _ core.Estimator = mutatedEstimator{}
+
+func (mutatedEstimator) Mode() string { return "mutated" }
+
+// Version is the injected impurity: a digest keyed on it would differ
+// between two runs over identical inputs.
+func (mutatedEstimator) Version() string {
+	return time.Now().String()
+}
+
+func (mutatedEstimator) EstimateCell(ctx context.Context, eng *sweep.Engine, w *sweep.Worker, m *core.Machine, wl trace.Workload, key string) (memsim.Result, error) {
+	return memsim.Result{}, nil
+}
+
+func (mutatedEstimator) EstimateDense(ctx context.Context, eng *sweep.Engine, j core.DenseJob, key string) (memsim.Result, error) {
+	return memsim.Result{}, nil
+}

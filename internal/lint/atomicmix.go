@@ -1,0 +1,46 @@
+package lint
+
+// atomicmix: a field or variable accessed through sync/atomic anywhere
+// must be accessed through sync/atomic everywhere. A plain read beside
+// an atomic.AddInt64 is a data race the race detector only catches if
+// a test happens to interleave it; the linter catches it on every
+// build. The index of atomically-accessed objects is module-wide, so
+// an atomic update in one package and a plain read in another still
+// collide. The repo's own counters use the typed atomic.Int64 family,
+// which is immune by construction — this check guards the addressed
+// (&x) style against creeping in half-converted.
+
+import (
+	"go/ast"
+)
+
+var atomicmixCheck = &Check{
+	Name: "atomicmix",
+	Doc:  "fields accessed via sync/atomic are never accessed plainly elsewhere",
+	Run: func(pass *Pass) {
+		a := pass.World.interproc()
+		if len(a.atomicObjs) == 0 {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.Pkg.Info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				atomicAt, indexed := a.atomicObjs[obj]
+				if !indexed || a.inAtomicSpan(id.Pos()) {
+					return true
+				}
+				pass.Reportf(id.Pos(),
+					"use sync/atomic for every access, or drop atomics and guard with one mutex; annotate only provably single-threaded phases: //opmlint:allow atomicmix — <why>",
+					"%s is accessed with sync/atomic (%s) but plainly here", id.Name, pass.World.relPos(atomicAt[0]))
+				return true
+			})
+		}
+	},
+}

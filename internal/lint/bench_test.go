@@ -1,0 +1,35 @@
+package lint
+
+import "testing"
+
+// BenchmarkLintRepo perf-gates the linter itself (scripts/bench-json.sh
+// roster): cold measures a full parse+type-check+analysis of the repo
+// with the world cache bypassed — the price CI pays once — and warm
+// measures a re-run through the shared typed-package cache, the price
+// every additional invocation in the same process pays. A loader
+// regression (re-type-checking per check, losing the cache) shows up
+// as warm collapsing toward cold.
+func BenchmarkLintRepo(b *testing.B) {
+	root, _, err := FindModule(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(root, Options{NoCache: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		if _, err := Run(root, Options{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(root, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

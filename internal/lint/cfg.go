@@ -1,0 +1,323 @@
+package lint
+
+// cfg.go is the lightweight per-function control-flow walk behind
+// lockscope: a symbolic execution of each function body that tracks
+// the set of held sync.Mutex/RWMutex keys statement by statement.
+// Branch bodies run on a copy of the held set and the walk resumes
+// with the pre-branch state (the early-unlock-and-return idiom stays
+// clean; a lock taken inside one branch arm never leaks out). A
+// deferred Unlock leaves the lock held to function exit, which is the
+// point: everything after `mu.Lock(); defer mu.Unlock()` runs under
+// the lock and is checked as such. Function literals execute on their
+// own schedule and are analyzed separately with an empty held set.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+const (
+	lockAcquire = iota
+	lockRelease
+)
+
+// lockWalker tracks held mutexes through one function body.
+type lockWalker struct {
+	pass *Pass
+	a    *ipa
+	held map[string]token.Pos
+	lits []*ast.FuncLit
+}
+
+func (lw *lockWalker) heldAny() bool { return len(lw.held) > 0 }
+
+func (lw *lockWalker) heldDesc() string {
+	keys := make([]string, 0, len(lw.held))
+	for k := range lw.held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+func (lw *lockWalker) snapshot() map[string]token.Pos {
+	c := make(map[string]token.Pos, len(lw.held))
+	for k, v := range lw.held {
+		c[k] = v
+	}
+	return c
+}
+
+func (lw *lockWalker) restore(s map[string]token.Pos) {
+	lw.held = make(map[string]token.Pos, len(s))
+	for k, v := range s {
+		lw.held[k] = v
+	}
+}
+
+func (lw *lockWalker) report(pos token.Pos, what string) {
+	lw.pass.Reportf(pos,
+		"release the lock before blocking (copy under lock, act after), or annotate: //opmlint:allow lockscope — <why>",
+		"%s while %s is held", what, lw.heldDesc())
+}
+
+func (lw *lockWalker) chanOp(pos token.Pos, what string) {
+	if lw.heldAny() {
+		lw.report(pos, what)
+	}
+}
+
+func (lw *lockWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			lw.stmt(st)
+		}
+	case *ast.ExprStmt:
+		lw.expr(s.X, false)
+	case *ast.SendStmt:
+		lw.chanOp(s.Arrow, "sends on a channel")
+		lw.expr(s.Chan, false)
+		lw.expr(s.Value, false)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			lw.expr(r, false)
+		}
+		for _, l := range s.Lhs {
+			lw.expr(l, false)
+		}
+	case *ast.DeferStmt:
+		// Arguments evaluate now; the call itself runs at exit. A
+		// deferred Unlock keeps the lock held through the body — that
+		// is exactly the window being checked — so it must not clear
+		// the held set here.
+		if _, op, isLock := lockOp(lw.pass.Pkg.Info, s.Call); !isLock || op != lockRelease {
+			for _, a := range s.Call.Args {
+				lw.expr(a, false)
+			}
+		}
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			lw.expr(a, false)
+		}
+		if lit, ok := unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			lw.lits = append(lw.lits, lit)
+		}
+	case *ast.IfStmt:
+		lw.stmt(s.Init)
+		lw.expr(s.Cond, false)
+		saved := lw.snapshot()
+		lw.stmt(s.Body)
+		lw.restore(saved)
+		lw.stmt(s.Else)
+		lw.restore(saved)
+	case *ast.ForStmt:
+		lw.stmt(s.Init)
+		lw.expr(s.Cond, false)
+		saved := lw.snapshot()
+		lw.stmt(s.Body)
+		lw.stmt(s.Post)
+		lw.restore(saved)
+	case *ast.RangeStmt:
+		lw.expr(s.X, false)
+		saved := lw.snapshot()
+		lw.stmt(s.Body)
+		lw.restore(saved)
+	case *ast.SwitchStmt:
+		lw.stmt(s.Init)
+		lw.expr(s.Tag, false)
+		lw.caseBodies(s.Body)
+	case *ast.TypeSwitchStmt:
+		lw.stmt(s.Init)
+		lw.stmt(s.Assign)
+		lw.caseBodies(s.Body)
+	case *ast.SelectStmt:
+		if lw.heldAny() && !selectHasDefault(s) {
+			lw.report(s.Select, "waits in a select")
+		}
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			saved := lw.snapshot()
+			lw.commStmt(cc.Comm)
+			for _, st := range cc.Body {
+				lw.stmt(st)
+			}
+			lw.restore(saved)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			lw.expr(r, false)
+		}
+	case *ast.LabeledStmt:
+		lw.stmt(s.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lw.expr(v, false)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		lw.expr(s.X, false)
+	}
+}
+
+// caseBodies walks switch case clauses, each on a copy of held.
+func (lw *lockWalker) caseBodies(body *ast.BlockStmt) {
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			lw.expr(e, false)
+		}
+		saved := lw.snapshot()
+		for _, st := range cc.Body {
+			lw.stmt(st)
+		}
+		lw.restore(saved)
+	}
+}
+
+// commStmt walks a select communication clause; its top-level channel
+// operation is the select's wait, already reported once.
+func (lw *lockWalker) commStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.SendStmt:
+		lw.expr(s.Chan, false)
+		lw.expr(s.Value, false)
+	case *ast.ExprStmt:
+		lw.expr(s.X, true)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			lw.expr(r, true)
+		}
+		for _, l := range s.Lhs {
+			lw.expr(l, false)
+		}
+	}
+}
+
+func (lw *lockWalker) expr(e ast.Expr, noChan bool) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		lw.call(e)
+		return
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW && !noChan {
+			lw.chanOp(e.OpPos, "receives from a channel")
+		}
+		lw.expr(e.X, false)
+		return
+	case *ast.FuncLit:
+		lw.lits = append(lw.lits, e)
+		return
+	}
+	for _, c := range directChildren(e) {
+		switch c := c.(type) {
+		case ast.Expr:
+			lw.expr(c, false)
+		case ast.Stmt:
+			lw.stmt(c)
+		}
+	}
+}
+
+func (lw *lockWalker) call(call *ast.CallExpr) {
+	info := lw.pass.Pkg.Info
+	callee := staticCallee(info, call)
+	if callee == nil {
+		lw.expr(call.Fun, false)
+		for _, a := range call.Args {
+			lw.expr(a, false)
+		}
+		return
+	}
+	if key, op, isLock := lockOp(info, call); isLock {
+		switch op {
+		case lockAcquire:
+			lw.held[key] = call.Pos()
+		case lockRelease:
+			delete(lw.held, key)
+		}
+		return
+	}
+	if lw.heldAny() {
+		if _, isModule := lw.a.funcs[callee]; isModule {
+			if _, blocking := lw.a.blockLock[callee]; blocking {
+				lw.report(call.Pos(), "calls "+shortFuncName(callee)+", which "+lw.a.blockWhy(lw.a.blockLock, callee))
+			}
+		} else if why, kind := extBlocking(callee); why != "" && kind&seedLock != 0 {
+			lw.report(call.Pos(), "calls "+shortFuncName(callee)+", which "+why)
+		}
+	}
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		lw.expr(sel.X, false)
+	}
+	for _, a := range call.Args {
+		lw.expr(a, false)
+	}
+}
+
+// lockOp classifies a call as a mutex acquire/release and derives the
+// lock's identity key from the receiver expression.
+func lockOp(info *types.Info, call *ast.CallExpr) (key string, op int, ok bool) {
+	callee := staticCallee(info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	if r := recvTypeName(callee); r != "Mutex" && r != "RWMutex" {
+		return "", 0, false
+	}
+	switch callee.Name() {
+	case "Lock", "RLock":
+		op = lockAcquire
+	case "Unlock", "RUnlock":
+		op = lockRelease
+	default:
+		return "", 0, false
+	}
+	key = "a lock"
+	if sel, isSel := unparen(call.Fun).(*ast.SelectorExpr); isSel {
+		key = exprKey(sel.X)
+	}
+	return key, op, true
+}
+
+// exprKey renders a stable identity for a lock receiver expression.
+func exprKey(e ast.Expr) string {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	case *ast.IndexExpr:
+		return exprKey(e.X) + "[]"
+	case *ast.CallExpr:
+		return exprKey(e.Fun) + "()"
+	}
+	return "?"
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,80 @@
+package lint
+
+// digestpure: the interprocedural closure of the determinism contract.
+// Cell digests are the identity every byte-equivalence gate joins on —
+// warm==cold, sharded==sequential, traced==untraced all compare
+// content addressed by store.Digest, harness.CellDigest/CellTraceID
+// and shard.ShardOf — so every function those roots can reach,
+// transitively and through interface dispatch, must be free of wall
+// clocks, the global math/rand source, and map-iteration-order leaks.
+// The per-function determinism check misses exactly the dangerous
+// case: a pure-looking digest root calling an impure helper three
+// packages away. Additional roots opt in with an `opmlint:digest-root`
+// doc-comment marker (the mutation-test probe rides on that seam).
+//
+// Unlike rangesort, ANY map range in digest-reachable code is flagged,
+// even one whose order never visibly escapes today — order sorted
+// after collection is fine but must be annotated so the audit trail
+// records why.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var digestpureCheck = &Check{
+	Name: "digestpure",
+	Doc:  "functions reachable from digest roots are transitively clock-, rand- and map-order-free",
+	Run: func(pass *Pass) {
+		a := pass.World.interproc()
+		for _, f := range a.order {
+			if f.pkg != pass.Pkg {
+				continue
+			}
+			root, reachable := a.digestRoot[f.fn]
+			if !reachable {
+				continue
+			}
+			reportDigestImpurities(pass, a, f, root)
+		}
+	},
+}
+
+func reportDigestImpurities(pass *Pass, a *ipa, f *ipaFunc, root *types.Func) {
+	info := f.pkg.Info
+	where := "is the digest root " + shortFuncName(root)
+	if root != f.fn {
+		where = "is reachable from digest root " + shortFuncName(root) + " (" + a.digestPath(f.fn) + ")"
+	}
+	hint := "digest inputs must be bit-deterministic: sort keys before iterating, inject the clock, seed the source — or annotate: //opmlint:allow digestpure — <why>"
+	ast.Inspect(f.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.For, hint,
+						"%s %s: map iteration order is run-dependent", f.fn.Name(), where)
+				}
+			}
+		case *ast.SelectorExpr:
+			fn, ok := info.Uses[n.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					pass.Reportf(n.Pos(), hint,
+						"%s %s: wall-clock read time.%s is run-dependent", f.fn.Name(), where, fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if sig, isSig := fn.Type().(*types.Signature); isSig && sig.Recv() == nil && !seededRandCtor[fn.Name()] {
+					pass.Reportf(n.Pos(), hint,
+						"%s %s: global-source rand.%s is run-dependent", f.fn.Name(), where, fn.Name())
+				}
+			}
+		}
+		return true
+	})
+}

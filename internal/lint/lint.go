@@ -23,6 +23,25 @@
 //	              serve packages (the journal's crash-safety layer
 //	              and the daemon on its write path)
 //
+// Five more checks are interprocedural, built on a shared module-wide
+// call graph (interface methods expanded over module implementations),
+// blocking-classification fixpoints, digest-root reachability, and a
+// per-function CFG (see callgraph.go and cfg.go):
+//
+//	ctxflow       functions accepting a context thread it into every
+//	              blocking callee; context.Background()/TODO() banned
+//	              outside cmd/ and tests
+//	goroleak      every go statement in internal/ has a provable
+//	              bounded exit (ctx.Done()/closed-channel select, a
+//	              WaitGroup the spawner waits on, or a finite loop)
+//	lockscope     no blocking operation (channel, file/journal I/O,
+//	              HTTP, process wait) while a mutex is held
+//	digestpure    everything reachable from the digest roots is free
+//	              of clocks, unseeded rand and map iteration,
+//	              transitively
+//	atomicmix     fields accessed via sync/atomic are never accessed
+//	              plainly elsewhere
+//
 // Suppression is explicit and auditable: a finding is silenced only by
 // a //opmlint:allow <check> — <reason> comment on the offending line,
 // the line above it, or in the enclosing declaration's doc comment.
@@ -93,6 +112,11 @@ func AllChecks() []*Check {
 		mustpathCheck,
 		counternamesCheck,
 		errdiscardCheck,
+		ctxflowCheck,
+		goroleakCheck,
+		lockscopeCheck,
+		digestpureCheck,
+		atomicmixCheck,
 	}
 }
 
@@ -124,6 +148,13 @@ type Options struct {
 	Patterns []string
 	// Checks to run. Default: AllChecks().
 	Checks []*Check
+	// BuildTags selects additionally-constrained files, like `go build
+	// -tags`. The digestpure mutation suite loads the repo with
+	// "opmlint_digest_mutation" to prove an injected clock is caught.
+	BuildTags []string
+	// NoCache forces a fresh parse+type-check instead of reusing the
+	// process-wide world cache (benchmarks measure the cold path).
+	NoCache bool
 }
 
 // Run loads the packages matched by opts.Patterns (relative to base),
@@ -140,7 +171,13 @@ func Run(base string, opts Options) ([]Finding, error) {
 	if len(checks) == 0 {
 		checks = AllChecks()
 	}
-	w, err := Load(base, patterns)
+	var w *World
+	var err error
+	if opts.NoCache {
+		w, err = LoadTags(base, patterns, opts.BuildTags)
+	} else {
+		w, err = loadCached(base, patterns, opts.BuildTags)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,11 @@ var fixturePkgs = map[string]string{
 	"mustpath":     "internal/lint/testdata/mustpath/mustpath",
 	"counternames": "internal/lint/testdata/counternames/counternames",
 	"errdiscard":   "internal/lint/testdata/errdiscard/store",
+	"ctxflow":      "internal/lint/testdata/ctxflow/ctxflow",
+	"goroleak":     "internal/lint/testdata/goroleak/goroleak",
+	"lockscope":    "internal/lint/testdata/lockscope/lockscope",
+	"digestpure":   "internal/lint/testdata/digestpure/digestpure",
+	"atomicmix":    "internal/lint/testdata/atomicmix/atomicmix",
 }
 
 func repoRoot(t *testing.T) string {

@@ -12,6 +12,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -19,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -31,8 +33,14 @@ type World struct {
 	Module string // module path from go.mod
 	Root   string // absolute module root directory
 	Pkgs   map[string]*Package
+	// Tags is the build-tag set files were selected under (see
+	// Options.BuildTags); empty for a default load.
+	Tags []string
 
-	std *stdImporter
+	// interprocedural analyses, built lazily on first use and shared by
+	// every check of the run (and, via the world cache, across runs).
+	ipaOnce sync.Once
+	ipaVal  *ipa
 }
 
 // Package is one parsed and type-checked package.
@@ -85,6 +93,48 @@ func FindModule(dir string) (root, module string, err error) {
 // trailing "/..." walking the subtree; testdata, vendor and hidden
 // directories are skipped during walks but may be named explicitly.
 func Load(base string, patterns []string) (*World, error) {
+	return LoadTags(base, patterns, nil)
+}
+
+// worldCache memoizes loaded worlds per (base, patterns, tags) for the
+// process lifetime. One `go test ./internal/lint` run loads the module
+// many times over (self-check, fixtures, JSON determinism, benchmarks);
+// type-checking the tree — and especially the from-source stdlib
+// fallback — dominated that wall time before the cache. Worlds are
+// immutable after load (directives are re-collected per run), so
+// sharing is safe.
+var worldCache = struct {
+	sync.Mutex
+	m map[string]*World
+}{m: map[string]*World{}}
+
+func loadCached(base string, patterns, tags []string) (*World, error) {
+	abs, err := filepath.Abs(base)
+	if err != nil {
+		return nil, err
+	}
+	key := abs + "\x00" + strings.Join(patterns, "\x00") + "\x01" + strings.Join(tags, "\x00")
+	worldCache.Lock()
+	w, ok := worldCache.m[key]
+	worldCache.Unlock()
+	if ok {
+		return w, nil
+	}
+	w, err = LoadTags(base, patterns, tags)
+	if err != nil {
+		return nil, err
+	}
+	worldCache.Lock()
+	worldCache.m[key] = w
+	worldCache.Unlock()
+	return w, nil
+}
+
+// LoadTags is Load with an explicit build-tag set: files whose
+// //go:build constraint evaluates false under tags (plus the host
+// GOOS/GOARCH) are skipped, exactly as the go tool would. The
+// digestpure mutation probe rides in on this seam.
+func LoadTags(base string, patterns, tags []string) (*World, error) {
 	root, module, err := FindModule(base)
 	if err != nil {
 		return nil, err
@@ -94,8 +144,8 @@ func Load(base string, patterns []string) (*World, error) {
 		Module: module,
 		Root:   root,
 		Pkgs:   map[string]*Package{},
+		Tags:   tags,
 	}
-	w.std = newStdImporter(w.Fset)
 	dirs, err := w.expand(base, patterns)
 	if err != nil {
 		return nil, err
@@ -259,7 +309,7 @@ func (w *World) addDir(dir string, requested bool) error {
 		if err != nil {
 			return fmt.Errorf("lint: parsing %s: %w", full, err)
 		}
-		if buildIgnored(f) {
+		if !w.buildSelected(f) {
 			continue
 		}
 		if p.Name == "" {
@@ -280,21 +330,40 @@ func (w *World) addDir(dir string, requested bool) error {
 	return nil
 }
 
-// buildIgnored reports whether f opts out of the build entirely. Only
-// the "//go:build ignore" idiom is recognized; this module uses no
-// other build constraints.
-func buildIgnored(f *ast.File) bool {
+// buildSelected reports whether f's //go:build constraint (if any)
+// evaluates true under the world's tag set. Host GOOS/GOARCH and go1.*
+// version tags are always satisfied; everything else — including the
+// conventional "ignore" — must appear in World.Tags to select the
+// file, mirroring `go build -tags`.
+func (w *World) buildSelected(f *ast.File) bool {
 	for _, cg := range f.Comments {
 		if cg.Pos() >= f.Package {
 			break
 		}
 		for _, c := range cg.List {
-			if strings.HasPrefix(c.Text, "//go:build") && strings.Contains(c.Text, "ignore") {
-				return true
+			if !constraint.IsGoBuild(c.Text) {
+				continue
 			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				// An unparseable constraint excludes the file, which is
+				// the conservative reading for a linter.
+				return false
+			}
+			return expr.Eval(func(tag string) bool {
+				if tag == runtime.GOOS || tag == runtime.GOARCH || strings.HasPrefix(tag, "go1") {
+					return true
+				}
+				for _, t := range w.Tags {
+					if t == tag {
+						return true
+					}
+				}
+				return false
+			})
 		}
 	}
-	return false
+	return true
 }
 
 // imports returns the module-internal import paths of p, sorted.
@@ -431,7 +500,7 @@ func (wi *worldImporter) Import(path string) (*types.Package, error) {
 		}
 		return p.Types, nil
 	}
-	return w.std.Import(path)
+	return sharedStd.Import(path)
 }
 
 // stdImporter resolves standard-library packages: compiled export
@@ -443,6 +512,12 @@ type stdImporter struct {
 	gc    types.Importer
 	src   types.Importer
 }
+
+// sharedStd is the process-wide standard-library importer. Stdlib
+// packages carry no positions any check reports on, so every World —
+// repo self-check, fixture packages, scratch test modules — shares one
+// typed set instead of re-checking fmt/net/http from source per load.
+var sharedStd = newStdImporter(token.NewFileSet())
 
 func newStdImporter(fset *token.FileSet) *stdImporter {
 	return &stdImporter{

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDigestMutationCaught is digestpure's proof of claim: a wall
+// clock injected into a digest-reachable helper must be caught. The
+// probe (internal/harness/digest_mutation_probe.go) exists only under
+// the opmlint_digest_mutation build tag and is reachable from the real
+// digest root harness.CellDigest only via interface dispatch on
+// core.Estimator.Version — so the catch also proves the closure's
+// interface-method expansion works, not just direct call edges.
+func TestDigestMutationCaught(t *testing.T) {
+	root := repoRoot(t)
+	checks, err := CheckByName("digestpure")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Without the tag the probe does not exist and harness is clean.
+	clean, err := Run(root, Options{Patterns: []string{"internal/harness"}, Checks: checks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) != 0 {
+		t.Fatalf("harness should be digest-pure without the mutation tag, got:\n%s", FormatText(clean))
+	}
+
+	// With the tag, the injected time.Now() must surface as a
+	// digestpure finding attributed to a digest root.
+	mutated, err := Run(root, Options{
+		Patterns:  []string{"internal/harness"},
+		Checks:    checks,
+		BuildTags: []string{"opmlint_digest_mutation"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range mutated {
+		if f.Check == "digestpure" &&
+			strings.Contains(f.Msg, "wall-clock read time.Now") &&
+			strings.Contains(f.Msg, "digest root") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mutation probe's time.Now() was not caught by digestpure; findings:\n%s", FormatText(mutated))
+	}
+}

@@ -1,0 +1,113 @@
+package lint
+
+// SARIF 2.1.0 output (Static Analysis Results Interchange Format) so
+// GitHub code scanning can annotate PR diffs with opmlint findings.
+// The encoding is deliberately minimal — tool driver, one rule per
+// check, one result per finding — and deterministic: rules are emitted
+// in AllChecks order and results in the already-sorted finding order,
+// so two runs over the same tree produce byte-identical SARIF.
+
+import "encoding/json"
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// FormatSARIF renders findings as a SARIF 2.1.0 log. checks is the
+// rule roster to declare (normally the checks that ran); findings from
+// checks outside it — the synthetic directive-hygiene "opmlint" check
+// in particular — get an ad-hoc rule appended so every result's ruleId
+// resolves.
+func FormatSARIF(fs []Finding, checks []*Check) (string, error) {
+	rules := make([]sarifRule, 0, len(checks)+1)
+	known := map[string]bool{}
+	for _, c := range checks {
+		rules = append(rules, sarifRule{ID: c.Name, ShortDescription: sarifMessage{Text: c.Doc}})
+		known[c.Name] = true
+	}
+	results := make([]sarifResult, 0, len(fs))
+	for _, f := range fs {
+		if !known[f.Check] {
+			rules = append(rules, sarifRule{ID: f.Check,
+				ShortDescription: sarifMessage{Text: "suppression-directive hygiene"}})
+			known[f.Check] = true
+		}
+		msg := f.Msg
+		if f.Hint != "" {
+			msg += " (" + f.Hint + ")"
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Check,
+			Level:   "error",
+			Message: sarifMessage{Text: msg},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: f.File},
+				Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "opmlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(data) + "\n", nil
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestFormatSARIF checks shape, determinism, and rule resolution: a
+// valid 2.1.0 log, byte-identical across calls, one rule per check in
+// canonical order, every result's ruleId declared — including the
+// synthetic directive-hygiene "opmlint" check.
+func TestFormatSARIF(t *testing.T) {
+	findings := []Finding{
+		{File: "internal/x/x.go", Line: 3, Col: 7, Check: "ctxflow",
+			Msg: "context.Background() in library code defeats cancellation", Hint: "accept a ctx parameter"},
+		{File: "internal/x/x.go", Line: 9, Col: 1, Check: "opmlint",
+			Msg: "unused //opmlint:allow ctxflow"},
+	}
+	out1, err := FormatSARIF(findings, AllChecks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := FormatSARIF(findings, AllChecks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != out2 {
+		t.Fatal("SARIF output is not deterministic")
+	}
+
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out1), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q runs %d, want 2.1.0 and 1", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "opmlint" {
+		t.Fatalf("driver name %q, want opmlint", run.Tool.Driver.Name)
+	}
+	declared := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		declared[r.ID] = true
+	}
+	for _, c := range AllChecks() {
+		if !declared[c.Name] {
+			t.Errorf("check %s missing from SARIF rules", c.Name)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(run.Results))
+	}
+	for _, r := range run.Results {
+		if !declared[r.RuleID] {
+			t.Errorf("result ruleId %q not declared in rules", r.RuleID)
+		}
+	}
+	got := run.Results[0]
+	if got.RuleID != "ctxflow" ||
+		got.Locations[0].PhysicalLocation.ArtifactLocation.URI != "internal/x/x.go" ||
+		got.Locations[0].PhysicalLocation.Region.StartLine != 3 {
+		t.Errorf("first result mis-encoded: %+v", got)
+	}
+	if !strings.Contains(got.Message.Text, "accept a ctx parameter") {
+		t.Errorf("hint not folded into message: %q", got.Message.Text)
+	}
+
+	// Empty findings still produce a valid log with an empty (never
+	// null) results array — code scanning rejects null.
+	empty, err := FormatSARIF(nil, AllChecks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(empty, `"results": null`) {
+		t.Error("empty findings rendered results as null")
+	}
+	if !strings.Contains(empty, `"results": []`) {
+		t.Error("empty findings should render an empty results array")
+	}
+}

@@ -1,0 +1,18 @@
+package atomicmix
+
+import "sync/atomic"
+
+type Stats struct {
+	hits int64
+}
+
+// Record updates hits atomically from any goroutine.
+func (s *Stats) Record() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// Snapshot reads the same field plainly — a data race the detector
+// only sees if a test happens to interleave it with Record.
+func (s *Stats) Snapshot() int64 {
+	return s.hits
+}

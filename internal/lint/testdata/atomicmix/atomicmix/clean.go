@@ -1,0 +1,12 @@
+package atomicmix
+
+import "sync/atomic"
+
+// Gauge uses the typed atomic family — a plain access does not
+// type-check, so the mix cannot happen.
+type Gauge struct {
+	v atomic.Int64
+}
+
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+func (g *Gauge) Get() int64  { return g.v.Load() }

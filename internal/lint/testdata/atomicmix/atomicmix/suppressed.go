@@ -1,0 +1,18 @@
+package atomicmix
+
+import "sync/atomic"
+
+type Phase struct {
+	n int64
+}
+
+// Inc runs concurrently during the work phase.
+func (p *Phase) Inc() {
+	atomic.AddInt64(&p.n, 1)
+}
+
+// Total runs after every writer has joined; the plain read is safe and
+// the annotation records why.
+func (p *Phase) Total() int64 {
+	return p.n //opmlint:allow atomicmix — fixture: read in the single-threaded join phase after all writers exit
+}

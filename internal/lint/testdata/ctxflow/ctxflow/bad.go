@@ -1,0 +1,21 @@
+package ctxflow
+
+import "context"
+
+// root mints a Background context in library code — cancellation from
+// the caller can never reach anything derived from it.
+func root() context.Context {
+	return context.Background()
+}
+
+// blockingHelper receives from a channel with no context to bound the
+// wait.
+func blockingHelper(ch chan int) int {
+	return <-ch
+}
+
+// Process accepts a context but drops it on the floor when calling
+// its blocking helper.
+func Process(ctx context.Context, ch chan int) int {
+	return blockingHelper(ch)
+}

@@ -1,0 +1,18 @@
+package ctxflow
+
+import "context"
+
+// waitOn bounds its channel wait with the caller's context.
+func waitOn(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Handle threads the context into every blocking callee.
+func Handle(ctx context.Context, ch chan int) int {
+	return waitOn(ctx, ch)
+}

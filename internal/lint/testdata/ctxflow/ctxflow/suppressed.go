@@ -1,0 +1,8 @@
+package ctxflow
+
+import "context"
+
+// detach returns this package's one sanctioned detached root.
+func detach() context.Context {
+	return context.Background() //opmlint:allow ctxflow — fixture: the one sanctioned process-lifetime root
+}

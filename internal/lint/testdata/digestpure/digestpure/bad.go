@@ -1,0 +1,18 @@
+package digestpure
+
+// Digest is this fixture's digest root.
+//
+// opmlint:digest-root
+func Digest(parts map[string]int) int {
+	return fold(parts)
+}
+
+// fold folds map values in iteration order — two runs over the same
+// map can visit them differently, so the digest is run-dependent.
+func fold(parts map[string]int) int {
+	sum := 0
+	for _, v := range parts {
+		sum = sum*31 + v
+	}
+	return sum
+}

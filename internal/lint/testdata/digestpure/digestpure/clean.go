@@ -1,0 +1,13 @@
+package digestpure
+
+// CleanDigest folds an already-ordered slice — nothing run-dependent
+// anywhere in its closure.
+//
+// opmlint:digest-root
+func CleanDigest(parts []string) int {
+	h := 0
+	for _, p := range parts {
+		h = h*31 + len(p)
+	}
+	return h
+}

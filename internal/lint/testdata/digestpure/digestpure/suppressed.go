@@ -1,0 +1,22 @@
+package digestpure
+
+import "sort"
+
+// SortedDigest collects map keys and sorts them before folding, so
+// iteration order never reaches the result — the annotation records
+// the audit.
+//
+// opmlint:digest-root
+func SortedDigest(parts map[string]int) int {
+	keys := make([]string, 0, len(parts))
+	//opmlint:allow digestpure — fixture: keys are collected then sorted before use
+	for k := range parts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0
+	for _, k := range keys {
+		sum = sum*31 + parts[k]
+	}
+	return sum
+}

@@ -1,0 +1,18 @@
+package goroleak
+
+// Spin leaks a goroutine: the loop has no exit anyone can trigger.
+func Spin() {
+	go func() {
+		for {
+		}
+	}()
+}
+
+// Pump leaks too: nothing in this package ever closes a chan int, so
+// the range never terminates.
+func Pump(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}

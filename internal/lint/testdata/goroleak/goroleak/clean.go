@@ -1,0 +1,29 @@
+package goroleak
+
+import "sync"
+
+// Drain exits when the producer closes the channel — and produce
+// below does.
+func Drain(ch chan string) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+func produce(ch chan string) {
+	ch <- "x"
+	close(ch)
+}
+
+// Fan joins every worker it spawns on a WaitGroup.
+func Fan(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,11 @@
+package goroleak
+
+// Watch runs its callback for the life of the process by design.
+func Watch(tick func()) {
+	//opmlint:allow goroleak — fixture: the monitor loop runs for the process lifetime by design
+	go func() {
+		for {
+			tick()
+		}
+	}()
+}

@@ -1,0 +1,25 @@
+package lockscope
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	ch chan int
+	v  int
+}
+
+// Publish sends on a channel while holding the lock — every other
+// caller convoys behind whoever is slow to receive.
+func (b *Box) Publish() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- b.v
+}
+
+// Next receives under the lock: a missing sender wedges every caller.
+func (b *Box) Next() int {
+	b.mu.Lock()
+	v := <-b.ch
+	b.mu.Unlock()
+	return v
+}

@@ -1,0 +1,18 @@
+package lockscope
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+	ch chan int
+}
+
+// Bump copies under the lock and blocks only after releasing it.
+func (c *Counter) Bump() {
+	c.mu.Lock()
+	c.n++
+	n := c.n
+	c.mu.Unlock()
+	c.ch <- n
+}

@@ -1,0 +1,17 @@
+package lockscope
+
+import "sync"
+
+type Journal struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Append serializes writers on purpose: the mutex IS the single-writer
+// ordering point.
+func (j *Journal) Append(v int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	//opmlint:allow lockscope — fixture: the mutex is the single-writer serialization point by design
+	j.ch <- v
+}

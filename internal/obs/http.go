@@ -75,6 +75,7 @@ func Serve(addr string, r *Registry, manifest func() *Manifest) (*http.Server, n
 	mux.Handle("/metrics", MetricsHandler(r, manifest))
 	mux.Handle("/metrics/prom", PromHandler(r))
 	srv := &http.Server{Handler: mux}
+	//opmlint:allow goroleak — http.Server.Serve exits when the returned *http.Server is Closed; the caller owns that lifecycle
 	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return srv, ln.Addr(), nil
 }

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -143,12 +142,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter("serve/sweeps").Inc()
 	// The accepted batch holds its drain slot until every cell is
 	// answered — graceful shutdown never abandons an accepted sweep.
+	// Cells run under the server's base context, not the HTTP request's
+	// (the response is already gone), so an interrupted Drain can still
+	// cancel a half-finished batch instead of leaking it.
 	go func() {
 		defer s.done()
 		defer s.jobs.finish(job)
 		for i, q := range req.Queries {
 			q.Class = class
-			resp, err := s.answer(context.Background(), q)
+			resp, err := s.answer(s.base, q)
 			s.jobs.update(job, i, resp, err)
 		}
 	}()

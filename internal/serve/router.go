@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -145,21 +146,45 @@ func (p *workerPool) snapshot() []int64 {
 // run executes fn on the shard the router picks for key and waits for
 // it to finish, returning the shard. Admission control bounds how many
 // callers can be here at once, so the per-shard queues cannot grow
-// unboundedly.
-func (p *workerPool) run(key string, fn func(w *sweep.Worker)) int {
+// unboundedly. ctx bounds the enqueue: a caller cancelled while its
+// shard's queue is full gets ctx's error back and fn never runs. Once
+// the task is enqueued the completion wait is unconditional — the
+// shard goroutine drains its queue in order, and fn itself observes
+// ctx — so fn has always finished (or never started) when run returns
+// and the caller may read fn's captured results without racing.
+func (p *workerPool) run(ctx context.Context, key string, fn func(w *sweep.Worker)) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return -1, err
+	}
 	shard := p.route.pick(key, p.snapshot())
 	p.loads[shard].Add(1)
 	t := &task{fn: fn, done: make(chan struct{})}
-	p.queues[shard] <- t
+	select {
+	case p.queues[shard] <- t:
+	case <-ctx.Done():
+		p.loads[shard].Add(-1)
+		return shard, ctx.Err()
+	}
 	<-t.done
-	return shard
+	return shard, nil
 }
 
 // close shuts the shards down after in-flight tasks finish. The caller
-// must guarantee no further run calls (the server drains first).
-func (p *workerPool) close() {
+// must guarantee no further run calls (the server drains first). ctx
+// bounds the wait for the shard goroutines to exit.
+func (p *workerPool) close(ctx context.Context) error {
 	for _, q := range p.queues {
 		close(q)
 	}
-	p.wg.Wait()
+	exited := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(exited)
+	}()
+	select {
+	case <-exited:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: worker pool shutdown interrupted: %w", ctx.Err())
+	}
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -71,11 +72,14 @@ func TestWorkerPoolRunsOnPickedShard(t *testing.T) {
 	var mu sync.Mutex
 	seen := map[int]int{} // worker ID → runs
 	for i := 0; i < 6; i++ {
-		shard := pool.run("k", func(w *sweep.Worker) {
+		shard, err := pool.run(context.Background(), "k", func(w *sweep.Worker) {
 			mu.Lock()
 			seen[w.ID()]++
 			mu.Unlock()
 		})
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
 		if shard < 0 || shard >= 3 {
 			t.Fatalf("run returned shard %d outside pool", shard)
 		}
@@ -90,5 +94,7 @@ func TestWorkerPoolRunsOnPickedShard(t *testing.T) {
 			t.Fatalf("shard %d load %d after quiesce, want 0", i, l)
 		}
 	}
-	pool.close()
+	if err := pool.close(context.Background()); err != nil {
+		t.Fatalf("close: %v", err)
+	}
 }

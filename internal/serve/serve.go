@@ -70,6 +70,12 @@ type Config struct {
 	Classes map[string]ClassConfig
 	// TwinMaxErr is the auto estimator's tolerance (default 0.10).
 	TwinMaxErr float64
+	// BaseContext is the root context background work — batch sweep
+	// jobs and twin-first refinements — runs under. The server derives
+	// a cancellable child from it, cancelled when Drain gives up, so an
+	// interrupted drain never strands headless goroutines computing
+	// forever. Nil means a process-lifetime root.
+	BaseContext context.Context
 }
 
 // Server is the daemon: an http.Handler plus the serving layers.
@@ -98,6 +104,12 @@ type Server struct {
 	drainMu  sync.RWMutex
 	draining atomic.Bool
 	inflight sync.WaitGroup
+
+	// base is the detached context background work (sweep jobs,
+	// refinements) runs under; cancelBase fires when a drain is
+	// interrupted so that work stops instead of leaking.
+	base       context.Context
+	cancelBase context.CancelFunc
 
 	startNS int64
 }
@@ -144,6 +156,11 @@ func New(cfg Config) (*Server, error) {
 		jobs:     newJobTable(64),
 		startNS:  nowNS(),
 	}
+	base := cfg.BaseContext
+	if base == nil {
+		base = context.Background() //opmlint:allow ctxflow — the daemon's process-lifetime root when the owner injects no BaseContext; Drain cancels the derived child
+	}
+	s.base, s.cancelBase = context.WithCancel(base)
 	for fam, b := range twin.DefaultBounds() {
 		s.bounds[fam] = b
 	}
@@ -230,10 +247,17 @@ func (s *Server) Drain(ctx context.Context) error {
 	select {
 	case <-doneC:
 	case <-ctx.Done():
+		// Giving up on the wait must not strand the work: cancel the
+		// base context so batch jobs and refinements running under it
+		// stop at their next context check instead of computing
+		// headless forever. The pool stays open — in-flight tasks may
+		// still be enqueuing, and closing under them would panic.
+		s.cancelBase()
 		return fmt.Errorf("serve: drain interrupted with work in flight: %w", ctx.Err())
 	}
-	s.pool.close()
-	return nil
+	err := s.pool.close(ctx)
+	s.cancelBase()
+	return err
 }
 
 // Draining reports whether graceful shutdown has begun.
@@ -393,11 +417,10 @@ func (s *Server) computeCell(ctx context.Context, c *cell, est core.Estimator, e
 	s.tr.Emit(traceID, obs.EvEnqueue, traceKey, -1, 0, "serve")
 
 	var (
-		data  []byte
-		shard int
-		err   error
+		data []byte
+		err  error
 	)
-	shard = s.pool.run(digest, func(w *sweep.Worker) {
+	shard, runErr := s.pool.run(ctx, digest, func(w *sweep.Worker) {
 		busy := nowNS()
 		s.tr.Emit(traceID, obs.EvDispatch, traceKey, w.ID(), 0, "")
 		cctx := obs.WithTraceContext(ctx, s.tr, traceID, traceKey, w.ID())
@@ -414,6 +437,7 @@ func (s *Server) computeCell(ctx context.Context, c *cell, est core.Estimator, e
 		}
 		if s.st != nil {
 			commit := nowNS()
+			//opmlint:allow ctxflow — a journal append must complete once begun; a frame torn by cancellation is exactly the corruption the store guards against
 			if perr := s.st.Put(digest, c.expFor(est), c.key, json.RawMessage(data)); perr != nil {
 				// A failed checkpoint must slow serving down, never
 				// kill it — same contract as the batch sweeps.
@@ -424,6 +448,12 @@ func (s *Server) computeCell(ctx context.Context, c *cell, est core.Estimator, e
 		}
 		s.tr.Emit(traceID, obs.EvDone, traceKey, w.ID(), time.Duration(nowNS()-busy), "")
 	})
+	if runErr != nil {
+		// Cancelled before the task was ever enqueued: the closure did
+		// not run and nothing was dispatched or journaled.
+		s.reg.Counter("serve/errors").Inc()
+		return nil, shard, runErr
+	}
 	s.tr.Emit(traceID, obs.EvRoute, traceKey, shard, 0, fmt.Sprintf("%s:%d", s.pool.route.name(), shard))
 	if err != nil {
 		s.reg.Counter("serve/errors").Inc()
@@ -511,6 +541,7 @@ func (s *Server) answerTwinFirst(ctx context.Context, req QueryRequest, c *cell,
 			return nil, fmt.Errorf("serve: encoding twin cell: %w", err)
 		}
 		if s.st != nil {
+			//opmlint:allow ctxflow — a journal append must complete once begun; a frame torn by cancellation is exactly the corruption the store guards against
 			if perr := s.st.Put(twinDigest, c.expFor(twinEst), c.key, json.RawMessage(data)); perr != nil {
 				s.reg.Counter("serve/commit_errors").Inc()
 			}
@@ -553,8 +584,9 @@ func (s *Server) spawnRefinement(req QueryRequest, c *cell, exactDigest, traceID
 		}()
 		start := nowNS()
 		// The request that triggered the refinement may be long gone;
-		// background work runs under its own context.
-		data, _, err := s.computeCell(context.Background(), c, s.estimators["exact"], "exact",
+		// the refinement runs under the server's base context instead,
+		// so an interrupted Drain can still cancel it.
+		data, _, err := s.computeCell(s.base, c, s.estimators["exact"], "exact",
 			exactDigest, traceID, traceKey, "refine")
 		s.observeClass("refine", time.Duration(nowNS()-start))
 		if err != nil {

@@ -214,6 +214,7 @@ func (c *coordinator) run(ctx context.Context) (*Report, error) {
 	for !c.done() {
 		select {
 		case <-ctx.Done():
+			//opmlint:allow ctxflow — killAll's wait is bounded by SIGKILL, not by worker progress: every killed process's Wait goroutine reports within OS time
 			c.killAll()
 			return nil, ctx.Err()
 		case ev := <-c.exitCh:
@@ -225,6 +226,7 @@ func (c *coordinator) run(ctx context.Context) (*Report, error) {
 			c.respawnDue()
 			c.steal()
 			if err := c.deadlocked(); err != nil {
+				//opmlint:allow ctxflow — killAll's wait is bounded by SIGKILL, not by worker progress: every killed process's Wait goroutine reports within OS time
 				c.killAll()
 				return nil, err
 			}
@@ -239,7 +241,9 @@ func (c *coordinator) run(ctx context.Context) (*Report, error) {
 		}
 	}
 
+	//opmlint:allow ctxflow — killAll's wait is bounded by SIGKILL, not by worker progress: every killed process's Wait goroutine reports within OS time
 	c.killAll()
+	//opmlint:allow ctxflow — the merge's journal appends must complete once begun; a frame torn by cancellation is exactly the corruption the store guards against
 	rep, err := Merge(c.plan, c.opt.Dir, c.rep.OutDir, c.opt.Reg, c.opt.Trace)
 	if err != nil {
 		return nil, err

@@ -166,6 +166,7 @@ func RunSequential(ctx context.Context, p *Plan, dir string, reg *obs.Registry) 
 		if err != nil {
 			return fmt.Errorf("shard: sequential %s fp=%d: %w", c.Kernel, c.FP, err)
 		}
+		//opmlint:allow ctxflow — a journal append must complete once begun; the loop checks ctx.Err() between cells, which is the cancellation boundary
 		if err := st.Put(c.Digest, c.Exp, c.Key, pt); err != nil {
 			return err
 		}

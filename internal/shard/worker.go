@@ -108,7 +108,7 @@ func runWorker(manifestPath string) int {
 	hb := newBeater(m.Heartbeat, every)
 	defer hb.stop()
 
-	ctx := context.Background()
+	ctx := context.Background() //opmlint:allow ctxflow — the worker subprocess's root: its lifetime is bounded by the supervisor's SIGKILL, not a parent context
 	w := sweep.NewWorker(m.Shard)
 	failed := 0
 	for i, c := range m.Cells {

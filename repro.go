@@ -102,6 +102,7 @@ func Experiments() []Experiment { return harness.Registry() }
 
 // RunExperiment runs one experiment by ID ("fig7", "table4", ...).
 func RunExperiment(id string, opt Options) (*Report, error) {
+	//opmlint:allow ctxflow — the documented convenience entry point; callers who need cancellation use RunExperimentContext
 	return RunExperimentContext(context.Background(), id, opt)
 }
 

@@ -67,6 +67,7 @@ bench .                 'BenchmarkTraceOverhead$' 1x
 bench .                 'BenchmarkStoreWarmVsCold$' 1x
 bench ./internal/serve  'BenchmarkServeHotPath$' 1s
 bench ./internal/shard  'BenchmarkShardMerge$' 5x
+bench ./internal/lint   'BenchmarkLintRepo$' 3x
 
 # test2json wraps stdout writes in Output actions, and one benchmark
 # result line spans several of them (the name is printed before the

@@ -7,17 +7,23 @@
 # the baseline), 2 when opmlint itself failed to load the tree.
 #
 # Usage: scripts/lint-diff.sh [package...]     (defaults to ./...)
-#        scripts/lint-diff.sh -update [pkg...] to rewrite the baseline
+#        scripts/lint-diff.sh -write-baseline [pkg...] to rewrite the
+#        baseline (-update is the historical alias). The baseline is
+#        deterministic — findings sorted by file/line/col/check, stable
+#        JSON rendering — so regenerating on an unchanged tree is a
+#        byte-identical no-op and the committed file never churns.
 set -u
 cd "$(dirname "$0")/.."
 
 baseline="scripts/lint-baseline.json"
 
 update=0
-if [ "${1:-}" = "-update" ]; then
+case "${1:-}" in
+-update | -write-baseline)
 	update=1
 	shift
-fi
+	;;
+esac
 pkgs="${*:-./...}"
 
 current="$(mktemp)"
@@ -43,5 +49,5 @@ if diff -u "$baseline" "$current"; then
 	exit 0
 fi
 echo "lint-diff: findings drifted from $baseline" >&2
-echo "lint-diff: fix new findings, or run scripts/lint-diff.sh -update to accept" >&2
+echo "lint-diff: fix new findings, or run scripts/lint-diff.sh -write-baseline to accept" >&2
 exit 1
